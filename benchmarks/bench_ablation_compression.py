@@ -1,0 +1,47 @@
+"""Ablation: 16-bit data compression (§6.1.3).
+
+K < 2¹⁶ lets topic indices and φ entries use short ints, halving the
+model footprint and cutting the sampling kernel's traffic. Results are
+bit-identical — compression is lossless at valid scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.core.kernels import KernelConfig
+from repro.corpus.synthetic import nytimes_like
+from repro.gpusim.platform import pascal_platform
+from repro.sched.partition import model_device_bytes
+
+
+def test_ablation_compression(benchmark):
+    corpus = nytimes_like(num_tokens=30_000, num_topics=8, seed=4)
+    base = TrainConfig(num_topics=64, iterations=5, seed=0)
+
+    compressed = benchmark.pedantic(
+        lambda: CuLDA(corpus, pascal_platform(1), base).train(),
+        rounds=1, iterations=1,
+    )
+    wide = CuLDA(
+        corpus, pascal_platform(1), replace(base, compressed=False)
+    ).train()
+
+    banner("Ablation: 16-bit compression vs 32-bit")
+    print(f"  compressed: {compressed.avg_tokens_per_sec / 1e6:8.1f}M tokens/s")
+    print(f"  32-bit:     {wide.avg_tokens_per_sec / 1e6:8.1f}M tokens/s")
+    print(f"  speedup:    {compressed.avg_tokens_per_sec / wide.avg_tokens_per_sec:.2f}x")
+    assert compressed.total_sim_seconds < wide.total_sim_seconds
+    # Lossless: identical trained models.
+    assert np.array_equal(compressed.phi, wide.phi)
+
+    # Model footprint at paper scale (K=1024, PubMed vocabulary).
+    small = model_device_bytes(1024, 141_043, KernelConfig(compressed=True))
+    big = model_device_bytes(1024, 141_043, KernelConfig(compressed=False))
+    print(f"  paper-scale model buffers: {small / 2**20:.0f} MiB vs "
+          f"{big / 2**20:.0f} MiB ({big / small:.2f}x)")
+    assert big > 1.9 * small

@@ -1,0 +1,48 @@
+"""Ablation: index-tree fanout (warp width, §2.2).
+
+The paper's trees are 32-way because one NVIDIA warp inspects 32
+children per SIMD step; §2.2 notes AMD wavefronts are 64 wide. This
+bench sweeps the fanout and reports the two quantities the choice
+trades: tree depth (serial SIMD steps per draw) and internal-level
+footprint (what shared memory must hold) — verifying draws are
+identical at every fanout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import banner
+from repro.core.index_tree import IndexTree
+
+K = 4096
+FANOUTS = (2, 8, 16, 32, 64)
+
+
+def test_ablation_fanout(benchmark):
+    rng = np.random.default_rng(0)
+    w = rng.random(K)
+    us = rng.random(10_000) * w.sum() * 0.9999999
+
+    def build_all():
+        return {f: IndexTree(w, fanout=f) for f in FANOUTS}
+
+    trees = benchmark.pedantic(build_all, rounds=3, iterations=1)
+
+    banner(f"Ablation: tree fanout (warp width), K={K}")
+    print(f"{'fanout':>8s} {'depth':>6s} {'internal bytes':>15s}  note")
+    notes = {32: "NVIDIA warp (the paper)", 64: "AMD wavefront (§2.2)"}
+    ref = trees[32].sample_many(us)
+    for f, tree in trees.items():
+        print(f"{f:>8d} {tree.depth:>6d} {tree.internal_nbytes(4):>15,d}  "
+              f"{notes.get(f, '')}")
+        # Identical draws regardless of fanout.
+        assert np.array_equal(tree.sample_many(us), ref)
+
+    # Wider fanout = shallower tree = fewer serial SIMD steps...
+    assert trees[64].depth <= trees[32].depth <= trees[2].depth
+    # ...and a smaller shared-memory-resident internal section.
+    assert trees[64].internal_nbytes() < trees[2].internal_nbytes()
+    # At K=4096 and fanout 32 the internals are trivially shared-memory
+    # sized (the paper's argument).
+    assert trees[32].internal_nbytes(4) < 48 * 1024

@@ -1,0 +1,61 @@
+"""Ablation: partition-by-document vs partition-by-word (§4).
+
+The paper chooses partition-by-document because the alternative
+replicates and synchronizes θ (D × K) instead of φ (K × V), and real
+corpora have D ≫ V. Both policies are implemented; this bench races
+them end-to-end on a D-heavy corpus and reports the per-iteration sync
+volumes, next to the analytic §4 predictor at full paper scale.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.core.kernels import KernelConfig
+from repro.corpus.datasets import NYTIMES, PUBMED
+from repro.corpus.synthetic import SyntheticSpec, generate_lda_corpus
+from repro.gpusim.platform import pascal_platform
+from repro.sched.byword import train_by_word
+from repro.sched.partition import sync_volume_by_policy
+
+
+def test_ablation_partition_policy(benchmark):
+    corpus = generate_lda_corpus(
+        SyntheticSpec(num_docs=1200, num_words=150, avg_doc_length=30,
+                      num_topics=4, name="d-heavy"),
+        seed=7,
+    )
+    cfg = TrainConfig(num_topics=16, iterations=4, seed=0)
+
+    bydoc_machine = pascal_platform(2)
+    bydoc = benchmark.pedantic(
+        lambda: CuLDA(corpus, bydoc_machine, cfg).train(),
+        rounds=1, iterations=1,
+    )
+    byword = train_by_word(corpus, pascal_platform(2), cfg)
+
+    phi_sync = sum(
+        iv.bytes_moved for iv in bydoc_machine.trace.intervals
+        if iv.label in ("phi_reduce_copy", "phi_broadcast_copy")
+    ) / cfg.iterations
+
+    banner("Ablation: partition policy (§4), D-heavy corpus, 2 GPUs")
+    print(f"  corpus: D={corpus.num_docs}, V={corpus.num_words}, "
+          f"T={corpus.num_tokens}")
+    print(f"  by-document: {bydoc.total_sim_seconds * 1e3:8.3f} ms total, "
+          f"{phi_sync / 1e3:8.1f} KB φ-sync per iteration")
+    print(f"  by-word:     {byword.total_sim_seconds * 1e3:8.3f} ms total, "
+          f"{byword.sync_bytes_per_iteration / 1e3:8.1f} KB θ-sync per iteration")
+    assert bydoc.total_sim_seconds < byword.total_sim_seconds
+    assert byword.sync_bytes_per_iteration > phi_sync
+
+    print()
+    print("  analytic §4 sync volumes at paper scale (K=1024, per iteration):")
+    for stats in (NYTIMES, PUBMED):
+        vol = sync_volume_by_policy(
+            stats.num_docs, stats.num_words, 1024, KernelConfig()
+        )
+        ratio = vol["by_word"] / vol["by_document"]
+        print(f"    {stats.name:<8s} by-doc {vol['by_document'] / 2**20:8.0f} MiB"
+              f"   by-word {vol['by_word'] / 2**20:8.0f} MiB   ({ratio:.0f}x)")
+        assert ratio > 5

@@ -1,0 +1,56 @@
+"""Ablation: sampler design (§6.1.1).
+
+Compares the dense O(K) sampler against the sparsity-aware S/Q sampler
+— functionally (same corpus, simulated times) and at paper scale via
+the cost model, where the gap is the design's whole justification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.core.kernels import KernelConfig, SamplingStats, sampling_cost
+from repro.core.model import LDAHyperParams
+from repro.corpus.datasets import NYTIMES
+from repro.corpus.synthetic import nytimes_like
+from repro.gpusim.platform import pascal_platform
+
+
+def test_ablation_sparse_vs_dense_sampler(benchmark):
+    # K must exceed typical document lengths for sparsity to pay off —
+    # at K ~ doc length the θ rows are dense and the samplers tie.
+    corpus = nytimes_like(num_tokens=30_000, num_topics=8, seed=4)
+    base = TrainConfig(num_topics=256, iterations=8, seed=0)
+
+    sparse = benchmark.pedantic(
+        lambda: CuLDA(corpus, pascal_platform(1), base).train(),
+        rounds=1, iterations=1,
+    )
+    dense = CuLDA(
+        corpus, pascal_platform(1), replace(base, sparse_sampler=False)
+    ).train()
+
+    banner("Ablation: sparsity-aware (S/Q) vs dense O(K) sampler")
+    print(f"  sparse sampler: {sparse.avg_tokens_per_sec / 1e6:8.1f}M tokens/s")
+    print(f"  dense sampler:  {dense.avg_tokens_per_sec / 1e6:8.1f}M tokens/s")
+    print(f"  speedup:        {sparse.avg_tokens_per_sec / dense.avg_tokens_per_sec:.2f}x")
+    assert sparse.total_sim_seconds < dense.total_sim_seconds
+
+    # Paper scale (K = 1024, converged NYTimes sparsity).
+    hyper = LDAHyperParams(num_topics=1024)
+    stats = SamplingStats(
+        num_tokens=NYTIMES.num_tokens,
+        kd_sum=int(NYTIMES.num_tokens * 60),
+        p1_draws=0,
+        num_word_segments=NYTIMES.num_words,
+        num_blocks=NYTIMES.num_tokens // 512,
+    )
+    b_sparse = sampling_cost(stats, hyper, NYTIMES.num_words, KernelConfig())
+    b_dense = sampling_cost(
+        stats, hyper, NYTIMES.num_words, KernelConfig(sparse_sampler=False)
+    )
+    ratio = b_dense.total_bytes / b_sparse.total_bytes
+    print(f"  paper-scale traffic ratio (K=1024): {ratio:.1f}x more for dense")
+    assert ratio > 5.0

@@ -1,0 +1,69 @@
+"""Ablation: WorkSchedule2 transfer/compute overlap (§5.1).
+
+When the corpus streams through device memory (M > 1), CuLDA_CGS
+double-buffers: the next chunk uploads while the current one computes.
+This bench measures the pipelined vs serial variants and verifies the
+overlap actually appears on the simulated timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.corpus.synthetic import pubmed_like
+from repro.gpusim.platform import pascal_platform
+
+
+def test_ablation_transfer_overlap(benchmark):
+    corpus = pubmed_like(num_tokens=80_000, num_topics=8, seed=3)
+    base = TrainConfig(num_topics=64, iterations=5, seed=0, chunks_per_gpu=4)
+
+    def run_overlapped():
+        machine = pascal_platform(1)
+        result = CuLDA(corpus, machine, base).train()
+        overlap = machine.trace.overlap_seconds("h2d", "sampling")
+        return result, overlap
+
+    overlapped, overlap_secs = benchmark.pedantic(
+        run_overlapped, rounds=1, iterations=1
+    )
+    serial = CuLDA(
+        corpus, pascal_platform(1), replace(base, overlap_transfers=False)
+    ).train()
+
+    banner("Ablation: WorkSchedule2 pipelining (M=4, 1 GPU)")
+    print(f"  overlapped transfers: {overlapped.total_sim_seconds * 1e3:7.2f} ms "
+          f"({overlapped.avg_tokens_per_sec / 1e6:.1f}M tokens/s)")
+    print(f"  serial transfers:     {serial.total_sim_seconds * 1e3:7.2f} ms "
+          f"({serial.avg_tokens_per_sec / 1e6:.1f}M tokens/s)")
+    print(f"  h2d/sampling overlap observed: {overlap_secs * 1e3:.3f} ms")
+    assert overlap_secs > 0
+    assert overlapped.total_sim_seconds < serial.total_sim_seconds
+    assert np.array_equal(overlapped.phi, serial.phi)
+
+
+def test_ablation_m1_vs_streaming(benchmark):
+    """When the data fits, resident (M=1) beats streaming (M>1) —
+    the reason Alg 1 prefers WorkSchedule1."""
+    corpus = pubmed_like(num_tokens=80_000, num_topics=8, seed=3)
+
+    resident = benchmark.pedantic(
+        lambda: CuLDA(
+            corpus, pascal_platform(1),
+            TrainConfig(num_topics=64, iterations=5, seed=0, chunks_per_gpu=1),
+        ).train(),
+        rounds=1, iterations=1,
+    )
+    streaming = CuLDA(
+        corpus, pascal_platform(1),
+        TrainConfig(num_topics=64, iterations=5, seed=0, chunks_per_gpu=4),
+    ).train()
+
+    banner("Ablation: resident (M=1) vs streaming (M=4) when data fits")
+    print(f"  M=1 resident:  {resident.total_sim_seconds * 1e3:7.2f} ms")
+    print(f"  M=4 streaming: {streaming.total_sim_seconds * 1e3:7.2f} ms")
+    assert resident.total_sim_seconds < streaming.total_sim_seconds

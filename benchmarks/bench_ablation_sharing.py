@@ -1,0 +1,39 @@
+"""Ablation: block-shared p₂ tree & p* staging (§6.1.2).
+
+Word-first sorting lets the 32 samplers of a thread block share one p₂
+index tree and one staged p* column through shared memory. Without it,
+every sampler stages privately — multiplying the staging traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.core.kernels import SAMPLERS_PER_BLOCK
+from repro.corpus.synthetic import nytimes_like
+from repro.gpusim.platform import pascal_platform
+
+
+def test_ablation_shared_p2_tree(benchmark):
+    corpus = nytimes_like(num_tokens=30_000, num_topics=8, seed=4)
+    base = TrainConfig(num_topics=64, iterations=5, seed=0)
+
+    shared = benchmark.pedantic(
+        lambda: CuLDA(corpus, pascal_platform(1), base).train(),
+        rounds=1, iterations=1,
+    )
+    private = CuLDA(
+        corpus, pascal_platform(1), replace(base, share_p2_tree=False)
+    ).train()
+
+    banner("Ablation: block-shared vs per-sampler p2 tree / p* staging")
+    print(f"  shared (word-first sort): {shared.avg_tokens_per_sec / 1e6:8.1f}M tokens/s")
+    print(f"  private per sampler:      {private.avg_tokens_per_sec / 1e6:8.1f}M tokens/s")
+    print(f"  speedup:                  "
+          f"{shared.avg_tokens_per_sec / private.avg_tokens_per_sec:.2f}x "
+          f"(staging amortized over up to {SAMPLERS_PER_BLOCK} samplers)")
+    assert shared.total_sim_seconds < private.total_sim_seconds
+    # Statistically identical work.
+    assert shared.phi.sum() == private.phi.sum()

@@ -1,0 +1,69 @@
+"""Extension: energy efficiency (tokens per joule).
+
+The paper's stated goal is "to minimize the cost of large-scale LDA
+training"; its authoring lab works on energy-efficient computing. This
+bench extends the evaluation with a first-order energy model
+(TDP × busy time + idle draw) and ranks the Table 2 platforms — and the
+WarpLDA CPU baseline — by simulated tokens/joule on the same training
+run.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.corpus.synthetic import nytimes_like
+from repro.gpusim.platform import (
+    CPU_E5_2690V4,
+    maxwell_platform,
+    pascal_platform,
+    volta_platform,
+)
+
+PLATFORMS = {
+    "Maxwell": maxwell_platform,
+    "Pascal": pascal_platform,
+    "Volta": volta_platform,
+}
+
+
+def test_ext_energy_efficiency(benchmark):
+    corpus = nytimes_like(num_tokens=40_000, num_topics=8, seed=2)
+    cfg = TrainConfig(num_topics=64, iterations=8, seed=0)
+
+    def run_all():
+        out = {}
+        for name, factory in PLATFORMS.items():
+            machine = factory(1)
+            result = CuLDA(corpus, machine, cfg).train()
+            joules = machine.energy_joules()
+            tokens = corpus.num_tokens * len(result.iterations)
+            out[name] = (result, joules, tokens / joules)
+        return out
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # WarpLDA CPU anchor: iteration time × host power.
+    from repro.baselines.warplda import warplda_iteration_cost
+    from repro.gpusim.costmodel import CostModel
+
+    cost = warplda_iteration_cost(
+        corpus.num_tokens, cfg.num_topics, corpus.num_words,
+        corpus.num_tokens / corpus.num_docs,
+    )
+    dt = CostModel().kernel_seconds(CPU_E5_2690V4, cost)
+    cpu_tokens_per_joule = corpus.num_tokens / (dt * CPU_E5_2690V4.tdp_watts)
+
+    banner("Extension: energy efficiency (simulated tokens per joule)")
+    for name, (result, joules, tpj) in out.items():
+        print(f"  {name:<8s} {tpj / 1e6:8.2f}M tokens/J  "
+              f"({joules * 1e3:.3f} mJ for {len(result.iterations)} iterations)")
+    print(f"  {'WarpLDA':<8s} {cpu_tokens_per_joule / 1e6:8.2f}M tokens/J (CPU)")
+
+    # Volta is both the fastest AND the most efficient — perf/W improves
+    # across generations faster than TDP grows.
+    tpjs = {name: tpj for name, (_, _, tpj) in out.items()}
+    assert tpjs["Volta"] > tpjs["Pascal"] > 0
+    assert tpjs["Volta"] > tpjs["Maxwell"]
+    # And every GPU beats the CPU baseline on energy, not just speed.
+    assert min(tpjs.values()) > cpu_tokens_per_joule

@@ -1,0 +1,59 @@
+"""Extension: "scaled to future GPUs as well" (§7.1's closing claim).
+
+The paper argues CuLDA_CGS tracks device memory bandwidth across GPU
+generations. We test the claim *forward*: project Table 4 onto an
+A100-class GPU (1555 GB/s HBM2e, released after the paper) with the
+Volta-family efficiency calibration, and check the throughput keeps
+scaling with bandwidth — and that the 40 GB capacity flips PubMed from
+streaming back to resident.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.corpus.datasets import NYTIMES, PUBMED
+from repro.gpusim.platform import GPU_A100, GPU_V100
+from repro.perfmodel import plan_memory, project_series
+
+
+def _avg(stats, series):
+    return stats.num_tokens * len(series) / (stats.num_tokens / series).sum()
+
+
+def test_ext_future_gpu(benchmark, projection_cfg):
+    def project():
+        out = {}
+        for stats in (NYTIMES, PUBMED):
+            out[stats.name] = {
+                "V100": _avg(stats, project_series(stats, GPU_V100, projection_cfg)),
+                "A100": _avg(stats, project_series(stats, GPU_A100, projection_cfg)),
+            }
+        return out
+
+    out = benchmark.pedantic(project, rounds=1, iterations=1)
+
+    banner("Extension: projecting Table 4 onto a post-paper GPU (A100)")
+    bw_ratio = GPU_A100.peak_bandwidth_gbps / GPU_V100.peak_bandwidth_gbps
+    print(f"  bandwidth ratio A100/V100: {bw_ratio:.2f}x")
+    for ds, row in out.items():
+        speedup = row["A100"] / row["V100"]
+        print(f"  {ds:<8s} V100 {row['V100'] / 1e6:7.1f}M -> "
+              f"A100 {row['A100'] / 1e6:7.1f}M  ({speedup:.2f}x)")
+
+    # NYTimes is compute(bandwidth)-bound: speedup tracks bandwidth.
+    nyt_speedup = out["NYTimes"]["A100"] / out["NYTimes"]["V100"]
+    assert nyt_speedup == pytest.approx(bw_ratio, rel=0.15)
+
+    # Capacity story: the A100's 40 GB flips PubMed to resident.
+    plan_v100 = plan_memory(PUBMED, GPU_V100, num_topics=1024)
+    plan_a100 = plan_memory(PUBMED, GPU_A100, num_topics=1024)
+    print(f"  PubMed on V100: {'resident' if plan_v100.resident else 'streaming'}; "
+          f"on A100: {'resident' if plan_a100.resident else 'streaming'}")
+    assert not plan_v100.resident
+    assert plan_a100.resident
+    # Hence PubMed's A100 speedup exceeds the pure-bandwidth ratio (the
+    # PCIe streaming bound disappears along with the capacity limit).
+    pm_speedup = out["PubMed"]["A100"] / out["PubMed"]["V100"]
+    assert pm_speedup > nyt_speedup * 0.95

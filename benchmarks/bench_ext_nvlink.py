@@ -1,0 +1,77 @@
+"""Extension: NVLink-connected multi-GPU scaling (beyond the paper).
+
+The paper's §3 points at NVLink ("up to 300 GB/s") as the interconnect
+that removes the synchronization tax its PCIe platforms pay. This bench
+projects Fig 9's experiment onto an NVLink fabric (the DGX-1 the paper
+cites) and measures the same effect functionally — quantifying how much
+of the 4-GPU efficiency loss was interconnect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.corpus.datasets import PUBMED
+from repro.corpus.synthetic import pubmed_like
+from repro.gpusim.platform import GPU_TITAN_XP, NVLINK_P2P_GBPS, dgx_platform, volta_platform
+from repro.perfmodel.projection import ProjectionConfig, project_series
+
+
+def _avg(series: np.ndarray) -> float:
+    return PUBMED.num_tokens * len(series) / (PUBMED.num_tokens / series).sum()
+
+
+def test_ext_nvlink_projection(benchmark, projection_cfg):
+    def project():
+        out = {}
+        for label, p2p in (("PCIe P2P (6 GB/s)", None),
+                           (f"NVLink ({NVLINK_P2P_GBPS:.0f} GB/s)", NVLINK_P2P_GBPS)):
+            speedups = {}
+            base = None
+            for g in (1, 2, 4):
+                cfg = projection_cfg
+                s = project_series(
+                    PUBMED, GPU_TITAN_XP, cfg, num_gpus=g,
+                ) if p2p is None else project_series(
+                    PUBMED, GPU_TITAN_XP,
+                    ProjectionConfig(num_topics=cfg.num_topics,
+                                     iterations=cfg.iterations,
+                                     p2p_gbps=p2p),
+                    num_gpus=g,
+                )
+                a = _avg(s)
+                base = base or a
+                speedups[g] = a / base
+            out[label] = speedups
+        return out
+
+    out = benchmark.pedantic(project, rounds=1, iterations=1)
+    banner("Extension: Fig 9 with an NVLink fabric (projected, PubMed)")
+    for label, sp in out.items():
+        row = "  ".join(f"{g} GPU: {v:.2f}x" for g, v in sp.items())
+        print(f"  {label:<22s} {row}")
+    pcie = out["PCIe P2P (6 GB/s)"]
+    nvlink = [v for k, v in out.items() if "NVLink" in k][0]
+    # NVLink strictly improves 4-GPU scaling.
+    assert nvlink[4] > pcie[4]
+    assert nvlink[4] > 3.2
+
+
+def test_ext_nvlink_functional(benchmark):
+    """Functionally: same model bits, shorter simulated sync on DGX."""
+    corpus = pubmed_like(num_tokens=100_000, num_topics=8, seed=7,
+                         vocab_cap=4096)
+    cfg = TrainConfig(num_topics=128, iterations=4, seed=0, chunks_per_gpu=1)
+
+    dgx = benchmark.pedantic(
+        lambda: CuLDA(corpus, dgx_platform(2), cfg).train(),
+        rounds=1, iterations=1,
+    )
+    volta = CuLDA(corpus, volta_platform(2), cfg).train()
+
+    banner("Extension: 2x V100 over NVLink vs PCIe (functional)")
+    print(f"  PCIe platform:   {volta.total_sim_seconds * 1e3:7.2f} ms")
+    print(f"  NVLink platform: {dgx.total_sim_seconds * 1e3:7.2f} ms")
+    assert dgx.total_sim_seconds < volta.total_sim_seconds
+    assert np.array_equal(dgx.phi, volta.phi)

@@ -1,0 +1,67 @@
+"""Extension: throughput vs topic count at paper scale.
+
+The paper notes "K ranges from 1k to 10k" in practice (§2.1) but
+evaluates a single K. This bench sweeps K over that range with the
+frozen cost model and shows *why* sparsity-aware sampling is the design
+that survives large K: per-token cost grows with the θ-row population
+K_d — which saturates near the document length — not with K itself,
+while the dense O(K) sampler collapses linearly.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+from repro.analysis.sparsity import SparsityModel
+from repro.core.kernels import KernelConfig, SamplingStats, sampling_cost
+from repro.core.model import LDAHyperParams
+from repro.corpus.datasets import NYTIMES
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.platform import GPU_V100
+from repro.perfmodel.projection import ProjectionConfig, project_series
+
+K_SWEEP = (1024, 2048, 4096, 8192)
+
+
+def _avg(series):
+    return NYTIMES.num_tokens * len(series) / (NYTIMES.num_tokens / series).sum()
+
+
+def test_ext_topic_scaling(benchmark):
+    def sweep():
+        out = {}
+        for k in K_SWEEP:
+            cfg = ProjectionConfig(num_topics=k, iterations=100)
+            out[k] = _avg(project_series(NYTIMES, GPU_V100, cfg))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    banner("Extension: NYTimes/V100 throughput vs K (sparsity-aware)")
+    cm = CostModel()
+    for k, tput in out.items():
+        sp = SparsityModel.from_stats(NYTIMES, k)
+        # Dense-sampler comparison point at steady-state sparsity.
+        stats = SamplingStats(
+            num_tokens=NYTIMES.num_tokens,
+            kd_sum=int(NYTIMES.num_tokens * sp.kd_inf),
+            p1_draws=0,
+            num_word_segments=NYTIMES.num_words,
+            num_blocks=NYTIMES.num_tokens // 512,
+        )
+        hyper = LDAHyperParams(num_topics=k)
+        t_dense = cm.kernel_seconds(
+            GPU_V100,
+            sampling_cost(stats, hyper, NYTIMES.num_words,
+                          KernelConfig(sparse_sampler=False)),
+        )
+        dense_tput = NYTIMES.num_tokens / t_dense
+        print(f"  K={k:>5d}: sparse {tput / 1e6:7.1f}M tokens/s   "
+              f"dense-O(K) {dense_tput / 1e6:7.1f}M   "
+              f"(steady K_d = {sp.kd_inf:.0f})")
+
+    # Sparse throughput degrades gently (K_d saturates near doc length);
+    # going 1k -> 8k topics must cost far less than 8x.
+    assert out[8192] > out[1024] / 3.0
+    # K_d saturation: the 8k model's steady K_d stays below doc length.
+    sp8k = SparsityModel.from_stats(NYTIMES, 8192)
+    assert sp8k.kd0 <= NYTIMES.avg_doc_length

@@ -1,0 +1,80 @@
+"""Fig 7 — achieved sampling speed (tokens/sec) per iteration.
+
+Regenerates the four series (Titan / Pascal / Volta / WarpLDA) for both
+datasets at paper scale and checks the figure's qualitative content:
+ramp-up then steady state, PubMed flatter than NYTimes, and the
+platform ordering. A functional cross-check reproduces the ramp
+mechanism (θ sparsification) on a scaled twin with real sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.core import CuLDA, TrainConfig
+from repro.corpus.synthetic import nytimes_like
+from repro.gpusim.platform import pascal_platform
+from repro.perfmodel import fig7_series
+
+SHOW_ITERS = (0, 4, 9, 19, 49, 99)
+
+
+def _print_series(name: str, series: dict) -> None:
+    print(f"\n{name}: tokens/sec (M) at iterations {SHOW_ITERS}")
+    for platform, s in series.items():
+        vals = "  ".join(f"{s[i] / 1e6:7.1f}" for i in SHOW_ITERS)
+        print(f"  {platform:<8s} {vals}")
+
+
+@pytest.mark.parametrize("dataset", ["NYTimes", "PubMed"])
+def test_fig7_series(benchmark, dataset, projection_cfg):
+    series = benchmark.pedantic(
+        lambda: fig7_series(dataset, projection_cfg), rounds=1, iterations=1
+    )
+    banner(f"Fig 7 ({dataset}): sampling speed per iteration")
+    _print_series(dataset, series)
+
+    for platform in ("Titan", "Pascal", "Volta"):
+        s = series[platform]
+        # Ramp-up then steady (the §7.1 observation).
+        assert s[-1] >= s[0]
+        assert abs(s[-1] - s[-5]) / s[-1] < 0.02
+    assert np.all(series["Volta"] > series["Pascal"])
+    assert np.all(series["Pascal"] > series["Titan"])
+
+
+def test_fig7_pubmed_flatter_than_nytimes(benchmark, projection_cfg):
+    nyt, pm = benchmark.pedantic(
+        lambda: (
+            fig7_series("NYTimes", projection_cfg)["Volta"],
+            fig7_series("PubMed", projection_cfg)["Volta"],
+        ),
+        rounds=1, iterations=1,
+    )
+    ramp_nyt = nyt[-1] / nyt[0]
+    ramp_pm = pm[-1] / pm[0]
+    print(f"\nramp factors — NYTimes {ramp_nyt:.2f}x vs PubMed {ramp_pm:.2f}x "
+          "(paper: PubMed visibly flatter)")
+    assert ramp_nyt > ramp_pm
+
+
+def test_fig7_functional_ramp(benchmark):
+    """The ramp's mechanism, measured: mean K_d falls and throughput
+    rises over the first iterations of a real training run."""
+    corpus = nytimes_like(num_tokens=40_000, num_topics=8, seed=3)
+    r = benchmark.pedantic(
+        lambda: CuLDA(
+            corpus, pascal_platform(1),
+            TrainConfig(num_topics=64, iterations=20, seed=0),
+        ).train(),
+        rounds=1, iterations=1,
+    )
+    kd = [it.mean_kd for it in r.iterations]
+    tput = [it.tokens_per_sec for it in r.iterations]
+    banner("Fig 7 (functional cross-check): scaled twin, real sampling")
+    for i in (0, 4, 9, 14, 19):
+        print(f"  iter {i:>2d}: {tput[i] / 1e6:7.1f}M tokens/s   mean K_d {kd[i]:6.1f}")
+    assert kd[-1] < kd[0]
+    assert tput[-1] >= tput[0]

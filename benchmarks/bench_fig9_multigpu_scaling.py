@@ -1,0 +1,65 @@
+"""Fig 9 — multi-GPU scalability on PubMed / Pascal.
+
+Regenerates (a) the per-iteration throughput series for 1/2/4 GPUs and
+(b) the normalized speedups, at paper scale from the projection, and
+cross-checks the scaling *mechanism* functionally (identical models,
+reduce-tree sync) on a scaled twin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PAPER_FIG9, banner
+from repro.core import CuLDA, TrainConfig
+from repro.corpus.synthetic import pubmed_like
+from repro.gpusim.platform import pascal_platform
+from repro.perfmodel import fig9_scaling
+
+SHOW_ITERS = (0, 9, 49, 99)
+
+
+def test_fig9_projection(benchmark, projection_cfg):
+    f9 = benchmark.pedantic(
+        lambda: fig9_scaling(projection_cfg), rounds=1, iterations=1
+    )
+
+    banner("Fig 9: CuLDA_CGS scalability, PubMed on the Pascal platform")
+    print("(a) tokens/sec (M) per iteration:")
+    for g, d in f9.items():
+        vals = "  ".join(f"{d['series'][i] / 1e6:7.1f}" for i in SHOW_ITERS)
+        print(f"  GPU*{g}: {vals}   (iterations {SHOW_ITERS})")
+    print("(b) speedup:")
+    for g, d in f9.items():
+        print(f"  {g} GPU(s): ours {d['speedup']:.2f}x   paper {PAPER_FIG9[g]:.2f}x")
+
+    assert f9[2]["speedup"] == pytest.approx(PAPER_FIG9[2], abs=0.25)
+    assert f9[4]["speedup"] == pytest.approx(PAPER_FIG9[4], abs=0.45)
+    assert f9[2]["speedup"] < f9[4]["speedup"] < 4.0
+
+
+def test_fig9_functional_scaling(benchmark):
+    """Functional cross-check: real training, token-balanced chunks,
+    reduce-tree sync; more GPUs → faster, same model bits."""
+    corpus = pubmed_like(num_tokens=120_000, num_topics=8, seed=2,
+                         vocab_cap=2048)
+
+    def run(gpus: int):
+        return CuLDA(
+            corpus, pascal_platform(gpus),
+            TrainConfig(num_topics=64, iterations=6, seed=0,
+                        chunks_per_gpu=4 // gpus),
+        ).train()
+
+    results = {g: run(g) for g in (1, 2)}
+    results[4] = benchmark.pedantic(lambda: run(4), rounds=1, iterations=1)
+
+    banner("Fig 9 (functional cross-check): scaled twin")
+    base = results[1].total_sim_seconds
+    for g, r in results.items():
+        print(f"  {g} GPU(s): {r.avg_tokens_per_sec / 1e6:7.1f}M tokens/s  "
+              f"speedup {base / r.total_sim_seconds:.2f}x")
+    assert results[2].total_sim_seconds < results[1].total_sim_seconds
+    assert results[4].total_sim_seconds < results[2].total_sim_seconds
+    assert np.array_equal(results[1].phi, results[4].phi)

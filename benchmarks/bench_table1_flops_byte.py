@@ -1,0 +1,54 @@
+"""Table 1 — Flops/Byte of each step of one LDA sampling (paper §3).
+
+Regenerates the four rows (0.33 / 0.25 / 0.30 / 0.19, average 0.27) and
+checks them against the paper exactly; also confirms the memory-bound
+verdict against every evaluated processor's ridge point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.analysis.roofline import (
+    average_flops_per_byte,
+    format_table1,
+    is_memory_bound,
+    table1_rows,
+)
+from repro.gpusim.platform import (
+    CPU_E5_2690V4,
+    GPU_TITAN_X,
+    GPU_TITAN_XP,
+    GPU_V100,
+)
+
+PAPER_ROWS = {
+    "Compute S": 0.33,
+    "Compute Q": 0.25,
+    "Sampling from p1(k)": 0.30,
+    "Sampling from p2(k)": 0.19,
+}
+
+
+def test_table1_flops_per_byte(benchmark):
+    rows = benchmark(table1_rows)
+
+    banner("Table 1: Flops/Byte of each step of one LDA sampling")
+    print(format_table1())
+    print()
+    for row in rows:
+        paper = PAPER_ROWS[row.name]
+        print(f"  {row.name:<24s} ours {row.flops_per_byte:5.2f}   paper {paper:5.2f}")
+        assert row.flops_per_byte == pytest.approx(paper, abs=0.005)
+    avg = average_flops_per_byte()
+    print(f"  {'Average':<24s} ours {avg:5.2f}   paper  0.27")
+    assert avg == pytest.approx(0.27, abs=0.005)
+
+    print()
+    print("memory-bound verdict vs ridge points (Eq 3):")
+    for spec in (CPU_E5_2690V4, GPU_TITAN_X, GPU_TITAN_XP, GPU_V100):
+        verdict = is_memory_bound(spec)
+        print(f"  {spec.name:<32s} ridge {spec.ridge_flops_per_byte:6.2f}  "
+              f"memory-bound: {verdict}")
+        assert verdict

@@ -1,0 +1,42 @@
+"""Table 3 — workload data sets.
+
+Prints the paper's dataset statistics and benchmarks the synthetic-twin
+generator that stands in for the (offline-unavailable) UCI corpora,
+verifying the twins match the shape parameters the reproduction relies
+on (average document length, Zipf skew).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import banner
+from repro.corpus.datasets import NYTIMES, PUBMED
+from repro.corpus.stats import summarize
+from repro.corpus.synthetic import nytimes_like, pubmed_like
+
+
+def test_table3_datasets(benchmark):
+    corpus = benchmark.pedantic(
+        lambda: nytimes_like(num_tokens=100_000, seed=0),
+        rounds=3, iterations=1,
+    )
+
+    banner("Table 3: details of workload data sets (paper scale)")
+    print(f"{'Dataset':<10s} {'#Tokens(T)':>13s} {'#Documents(D)':>12s} {'#Words(V)':>9s}")
+    for stats in (NYTIMES, PUBMED):
+        print(stats.table_row())
+
+    print()
+    print("scaled-down synthetic twins used for functional runs:")
+    for stats, twin in (
+        (NYTIMES, corpus),
+        (PUBMED, pubmed_like(num_tokens=100_000, seed=0)),
+    ):
+        s = summarize(twin)
+        print(
+            f"  {s.name:<14s} T={s.num_tokens:>8,d} D={s.num_docs:>7,d} "
+            f"V={s.num_words:>6,d}  avg_len={s.avg_doc_length:6.1f} "
+            f"(paper {stats.avg_doc_length:6.1f})  zipf={s.zipf_exponent:.2f}"
+        )
+        assert s.avg_doc_length == pytest.approx(stats.avg_doc_length, rel=0.12)

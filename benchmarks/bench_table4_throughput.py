@@ -1,0 +1,52 @@
+"""Table 4 — average tokens/sec of the first 100 iterations.
+
+Regenerates the full table (3 GPU platforms × 2 datasets + the WarpLDA
+CPU row) from the analytic projection at paper scale (K = 1024), prints
+it against the paper's numbers, and derives the §7.2 headline speedups
+("1.61X–7.34X over WarpLDA").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import PAPER_TABLE4, banner
+from repro.perfmodel import table4_throughput
+
+
+def test_table4_throughput(benchmark, projection_cfg):
+    t4 = benchmark.pedantic(
+        lambda: table4_throughput(projection_cfg), rounds=1, iterations=1
+    )
+
+    banner("Table 4: average #Tokens/sec of CuLDA_CGS and WarpLDA (M tokens/s)")
+    header = f"{'Dataset':<10s}" + "".join(
+        f"{p:>22s}" for p in ("Titan", "Pascal", "Volta", "WarpLDA")
+    )
+    print(header)
+    for ds, row in t4.items():
+        cells = "".join(
+            f"{row[p] / 1e6:9.1f} ({PAPER_TABLE4[ds][p]:6.1f})"
+            for p in ("Titan", "Pascal", "Volta", "WarpLDA")
+        )
+        print(f"{ds:<10s}{cells}")
+    print("(each cell: ours, paper in parentheses)")
+
+    # NYTimes is the calibration-quality row: within 10% everywhere.
+    for p, paper in PAPER_TABLE4["NYTimes"].items():
+        assert t4["NYTimes"][p] / 1e6 == pytest.approx(paper, rel=0.10)
+    # PubMed: ordering and WarpLDA anchor hold (see EXPERIMENTS.md for
+    # the documented absolute deviation on the older GPUs).
+    row = t4["PubMed"]
+    assert row["Volta"] > row["Pascal"] > row["Titan"] > row["WarpLDA"]
+
+    print()
+    print("speedup over WarpLDA (paper: up to 7.3X):")
+    worst, best = float("inf"), 0.0
+    for ds, row in t4.items():
+        for p in ("Titan", "Pascal", "Volta"):
+            r = row[p] / row["WarpLDA"]
+            worst, best = min(worst, r), max(best, r)
+            print(f"  {ds:<8s} {p:<7s} {r:5.2f}x")
+    print(f"  range: {worst:.2f}x - {best:.2f}x  (paper: 1.61x - 7.34x)")
+    assert 5.0 < best < 9.0

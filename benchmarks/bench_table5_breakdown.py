@@ -1,0 +1,56 @@
+"""Table 5 — execution-time breakdown of CuLDA_CGS on NYTimes.
+
+Regenerates the per-kernel time fractions at paper scale from the
+projection AND cross-checks them against a functional run's measured
+trace breakdown on a scaled twin (same kernels, same cost model, real
+sampling).
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_TABLE5, banner
+from repro.core import CuLDA, TrainConfig
+from repro.corpus.synthetic import nytimes_like
+from repro.gpusim.platform import pascal_platform
+from repro.perfmodel import table5_breakdown
+
+KERNELS = ("sampling", "update_theta", "update_phi")
+
+
+def test_table5_breakdown_projection(benchmark, projection_cfg):
+    t5 = benchmark.pedantic(
+        lambda: table5_breakdown(projection_cfg), rounds=1, iterations=1
+    )
+
+    banner("Table 5: execution time breakdown on NYTimes (percent)")
+    print(f"{'Function':<14s}" + "".join(f"{p:>20s}" for p in t5))
+    for k in KERNELS:
+        cells = "".join(
+            f"{t5[p][k] * 100:8.1f} ({PAPER_TABLE5[p][k]:5.1f})" for p in t5
+        )
+        print(f"{k:<14s}{cells}")
+    print("(each cell: ours, paper in parentheses)")
+
+    for platform, row in t5.items():
+        assert row["sampling"] > 0.75, platform
+        assert row["sampling"] > row["update_theta"]
+        assert row["sampling"] > row["update_phi"]
+
+
+def test_table5_functional_trace(benchmark):
+    """The same proportions measured from the simulator's trace on a
+    real (scaled) training run."""
+    corpus = nytimes_like(num_tokens=50_000, num_topics=16, seed=1)
+    r = benchmark.pedantic(
+        lambda: CuLDA(
+            corpus, pascal_platform(1),
+            TrainConfig(num_topics=128, iterations=8, seed=0),
+        ).train(),
+        rounds=1, iterations=1,
+    )
+    banner("Table 5 (functional cross-check): measured trace on scaled twin")
+    total = sum(r.breakdown.get(k, 0.0) for k in KERNELS)
+    for k in KERNELS:
+        print(f"  {k:<14s} {r.breakdown.get(k, 0.0) / total * 100:6.1f}%")
+    assert r.breakdown["sampling"] / total > 0.6
+    assert r.breakdown["sampling"] > r.breakdown["update_theta"]

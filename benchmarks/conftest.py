@@ -1,0 +1,43 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §4). Benchmarks both *time* the reproduction code (via
+pytest-benchmark) and *print* the regenerated rows/series next to the
+paper's numbers — run with ``-s`` to see them:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Paper numbers used across benches (M tokens/sec, Table 4).
+PAPER_TABLE4 = {
+    "NYTimes": {"Titan": 173.6, "Pascal": 208.0, "Volta": 633.0, "WarpLDA": 108.0},
+    "PubMed": {"Titan": 155.6, "Pascal": 213.0, "Volta": 686.2, "WarpLDA": 93.5},
+}
+
+#: Paper Table 5 (percent, NYTimes).
+PAPER_TABLE5 = {
+    "Titan": {"sampling": 87.7, "update_theta": 8.0, "update_phi": 4.3},
+    "Pascal": {"sampling": 87.9, "update_theta": 9.3, "update_phi": 1.7},
+    "Volta": {"sampling": 79.4, "update_theta": 10.8, "update_phi": 9.8},
+}
+
+#: Paper Fig 9 speedups on PubMed / Pascal.
+PAPER_FIG9 = {1: 1.0, 2: 1.93, 4: 2.99}
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def projection_cfg():
+    from repro.perfmodel.projection import ProjectionConfig
+
+    return ProjectionConfig(num_topics=1024, iterations=100)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Convergence race (the paper's Fig 8): log-likelihood/token vs time.
+
+Trains four systems on the same NYTimes-like twin and prints each one's
+likelihood trajectory against *simulated* wall time:
+
+- CuLDA_CGS on a Volta GPU,
+- SaberLDA-like prior GPU system (ablated optimizations),
+- WarpLDA on the paper's host CPU,
+- LDA* on a 4-node 10 GbE parameter-server cluster.
+
+Run:
+    python examples/convergence_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import CuLDA, TrainConfig, nytimes_like, volta_platform
+from repro.baselines import LDAStar, SaberLDA, WarpLDA
+from repro.core.model import LDAHyperParams
+from repro.gpusim.platform import pascal_platform
+
+K = 32
+ITERS = 30
+EVERY = 5
+
+
+def trajectory_culda(corpus):
+    r = CuLDA(
+        corpus, volta_platform(1),
+        TrainConfig(num_topics=K, iterations=ITERS, seed=0,
+                    likelihood_every=EVERY),
+    ).train()
+    t = 0.0
+    out = []
+    for it in r.iterations:
+        t += it.sim_seconds
+        if it.log_likelihood_per_token is not None:
+            out.append((t, it.log_likelihood_per_token))
+    return "CuLDA_CGS (1x V100)", out
+
+
+def trajectory_saber(corpus):
+    r = SaberLDA(
+        corpus, pascal_platform(1),
+        TrainConfig(num_topics=K, iterations=ITERS, seed=0,
+                    likelihood_every=EVERY),
+    ).train()
+    t = 0.0
+    out = []
+    for it in r.iterations:
+        t += it.sim_seconds
+        if it.log_likelihood_per_token is not None:
+            out.append((t, it.log_likelihood_per_token))
+    return "SaberLDA-like (1x Titan Xp)", out
+
+
+def trajectory_warplda(corpus):
+    r = WarpLDA(corpus, LDAHyperParams(num_topics=K), seed=0).train(
+        iterations=ITERS, likelihood_every=EVERY
+    )
+    t = 0.0
+    out = []
+    for it in r.iterations:
+        t += it.sim_seconds
+        if it.log_likelihood_per_token is not None:
+            out.append((t, it.log_likelihood_per_token))
+    return "WarpLDA (2x E5-2690v4)", out
+
+
+def trajectory_ldastar(corpus):
+    r = LDAStar(corpus, LDAHyperParams(num_topics=K), num_workers=4,
+                seed=0).train(iterations=ITERS, likelihood_every=EVERY)
+    t = 0.0
+    out = []
+    for it in r.iterations:
+        t += it.sim_seconds
+        if it.log_likelihood_per_token is not None:
+            out.append((t, it.log_likelihood_per_token))
+    return "LDA* (4 nodes, 10GbE)", out
+
+
+def main() -> None:
+    corpus = nytimes_like(num_tokens=60_000, num_topics=16, seed=5)
+    print(f"corpus: {corpus}\n")
+    print(f"{'system':<28s} trajectory (simulated_time_s : ll/token)")
+    finals = {}
+    for fn in (trajectory_culda, trajectory_saber, trajectory_warplda,
+               trajectory_ldastar):
+        name, traj = fn(corpus)
+        line = "  ".join(f"{t * 1e3:7.2f}ms:{ll:7.3f}" for t, ll in traj)
+        print(f"{name:<28s} {line}")
+        finals[name] = traj[-1]
+    print()
+    best = min(finals.items(), key=lambda kv: kv[1][0])
+    print(f"fastest to its final likelihood: {best[0]} "
+          f"({best[1][0] * 1e3:.2f} ms simulated)")
+
+
+if __name__ == "__main__":
+    main()

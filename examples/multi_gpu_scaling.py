@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling (the paper's Fig 9) at two fidelities.
+
+1. *Functional*: actually trains a PubMed-like twin on 1/2/4 simulated
+   Pascal GPUs and reports the measured speedups (identical models are
+   produced at every GPU count — determinism at fixed C).
+2. *Projected*: evaluates the analytic model at full PubMed scale
+   (737.9M tokens, K=1024), the regime the paper measured
+   (1.93x / 2.99x at 2 / 4 GPUs).
+
+Run:
+    python examples/multi_gpu_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CuLDA, TrainConfig, pascal_platform, pubmed_like
+from repro.perfmodel import fig9_scaling
+
+
+def functional_scaling() -> None:
+    print("=== functional runs (scaled-down PubMed twin) ===")
+    corpus = pubmed_like(num_tokens=150_000, num_topics=16, seed=1,
+                         vocab_cap=2048)
+    print(f"corpus: {corpus}")
+    results = {}
+    for gpus in (1, 2, 4):
+        r = CuLDA(
+            corpus,
+            machine=pascal_platform(gpus),
+            config=TrainConfig(num_topics=64, iterations=10, seed=0,
+                               chunks_per_gpu=4 // gpus),
+        ).train()
+        results[gpus] = r
+        print(
+            f"  {gpus} GPU(s): {r.avg_tokens_per_sec / 1e6:7.1f}M tokens/s "
+            f"(simulated {r.total_sim_seconds * 1e3:.2f} ms, C={r.plan_chunks})"
+        )
+    base = results[1]
+    for gpus in (2, 4):
+        speedup = results[gpus].avg_tokens_per_sec / base.avg_tokens_per_sec
+        same = np.array_equal(results[gpus].phi, base.phi)
+        print(f"  speedup x{gpus}: {speedup:.2f}   model identical to 1-GPU run: {same}")
+
+
+def projected_scaling() -> None:
+    print()
+    print("=== analytic projection at full PubMed scale (paper Fig 9) ===")
+    f9 = fig9_scaling()
+    print("  paper:      1 GPU 1.00x   2 GPUs 1.93x   4 GPUs 2.99x")
+    parts = "   ".join(
+        f"{g} GPU{'s' if g > 1 else ''} {d['speedup']:.2f}x" for g, d in f9.items()
+    )
+    print(f"  projected:  {parts}")
+
+
+def main() -> None:
+    functional_scaling()
+    projected_scaling()
+
+
+if __name__ == "__main__":
+    main()

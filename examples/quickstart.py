@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: train LDA with CuLDA_CGS on a simulated 2-GPU machine.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import CuLDA, TrainConfig, nytimes_like, pascal_platform
+
+
+def main() -> None:
+    # A scaled-down synthetic twin of the UCI NYTimes corpus (~50k tokens,
+    # average document length 332, Zipf word frequencies).
+    corpus = nytimes_like(num_tokens=50_000, num_topics=16, seed=0)
+    print(f"corpus: {corpus}")
+
+    # The paper's Pascal platform with 2 GPUs (Table 2).
+    machine = pascal_platform(2)
+
+    result = CuLDA(
+        corpus,
+        machine=machine,
+        config=TrainConfig(
+            num_topics=32,       # K; alpha defaults to 50/K, beta to 0.01
+            iterations=30,
+            seed=0,
+            likelihood_every=10,
+        ),
+    ).train()
+
+    print()
+    print(result.summary())
+    print()
+    print("per-iteration simulated throughput (M tokens/sec):")
+    for it in result.iterations[::5]:
+        ll = (
+            f"  ll/token={it.log_likelihood_per_token:.4f}"
+            if it.log_likelihood_per_token is not None
+            else ""
+        )
+        print(
+            f"  iter {it.iteration:>3d}: {it.tokens_per_sec / 1e6:8.1f}M "
+            f"(mean K_d={it.mean_kd:.1f}, p1 draws={it.p1_fraction:.0%}){ll}"
+        )
+
+    print()
+    print("top word-ids per topic (first 4 topics):")
+    for k in range(4):
+        print(f"  topic {k}: {result.top_words(k, n=8)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Periodic model refresh over a growing corpus (streaming workflow).
+
+Documents arrive in batches (built incrementally with
+:class:`CorpusBuilder`); after each batch the model is retrained on
+everything seen so far, **warm-started** from the previous φ so each
+refresh needs only a few iterations instead of a cold-start run — the
+practical pattern for the paper's "online service" motivation (§1).
+
+Run:
+    python examples/streaming_updates.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CuLDA, TrainConfig, volta_platform
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.synthetic import SyntheticSpec, generate_lda_corpus
+
+K = 16
+BATCHES = 4
+DOCS_PER_BATCH = 120
+
+
+def main() -> None:
+    # A fixed generator plays the role of the incoming stream.
+    stream = generate_lda_corpus(
+        SyntheticSpec(num_docs=BATCHES * DOCS_PER_BATCH, num_words=400,
+                      avg_doc_length=60, num_topics=8, name="stream"),
+        seed=19,
+    )
+    builder = CorpusBuilder(name="stream")
+    phi_prev: np.ndarray | None = None
+    print(f"{'batch':>6s} {'docs':>6s} {'tokens':>8s} {'mode':>12s} "
+          f"{'iters':>6s} {'ll/token':>10s} {'sim time':>10s}")
+
+    next_doc = 0
+    for batch in range(BATCHES):
+        for _ in range(DOCS_PER_BATCH):
+            builder.add_document_ids(stream.document(next_doc).tolist())
+            next_doc += 1
+        corpus = builder.build(num_words=stream.num_words)
+
+        warm = phi_prev is not None
+        config = TrainConfig(
+            num_topics=K,
+            # Warm starts converge in a fraction of the iterations.
+            iterations=8 if warm else 40,
+            seed=batch,
+            likelihood_every=4,
+            stop_rel_tolerance=5e-4,
+        )
+        result = CuLDA(
+            corpus, volta_platform(1), config,
+            warm_start_phi=phi_prev,
+        ).train()
+        phi_prev = result.phi
+        print(f"{batch:>6d} {corpus.num_docs:>6d} {corpus.num_tokens:>8d} "
+              f"{'warm-start' if warm else 'cold-start':>12s} "
+              f"{len(result.iterations):>6d} "
+              f"{result.final_log_likelihood:>10.4f} "
+              f"{result.total_sim_seconds * 1e3:>8.2f}ms")
+
+    print("\nwarm-started refreshes track the stream at a fraction of the "
+          "cold-start cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim — metadata lives in pyproject.toml.
+
+Present so ``pip install -e .`` works in offline environments without
+the ``wheel`` package (legacy editable install path).
+"""
+
+from setuptools import setup
+
+setup()

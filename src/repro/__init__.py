@@ -1,0 +1,58 @@
+"""repro — a reproduction of *CuLDA_CGS: Solving Large-scale LDA
+Problems on GPUs* (Xie, Liang, Li, Tan — HPDC 2019) on a simulated
+multi-GPU substrate.
+
+Quickstart
+----------
+::
+
+    from repro import CuLDA, TrainConfig, nytimes_like, pascal_platform
+
+    corpus = nytimes_like(num_tokens=100_000)
+    result = CuLDA(
+        corpus,
+        machine=pascal_platform(4),
+        config=TrainConfig(num_topics=64, iterations=50),
+    ).train()
+    print(result.summary())
+
+Subpackages
+-----------
+- :mod:`repro.core` — the CuLDA_CGS trainer, kernels, index tree.
+- :mod:`repro.corpus` — corpora, generators, UCI I/O, Table 3 stats.
+- :mod:`repro.gpusim` — the simulated multi-GPU machine (Table 2).
+- :mod:`repro.sched` — partitioning, WorkSchedule1/2, φ sync tree.
+- :mod:`repro.baselines` — WarpLDA, SaberLDA-like, LDA*, exact CGS.
+- :mod:`repro.cluster` — the parameter-server network substrate.
+- :mod:`repro.analysis` — roofline (Table 1), metrics, sparsity model.
+- :mod:`repro.perfmodel` — full-scale projections (Tables 4–5, Figs 7/9).
+"""
+
+from repro.core import CuLDA, IndexTree, LDAHyperParams, TrainConfig, TrainResult
+from repro.corpus import NYTIMES, PUBMED, Corpus, nytimes_like, pubmed_like
+from repro.gpusim import (
+    Machine,
+    maxwell_platform,
+    pascal_platform,
+    volta_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CuLDA",
+    "TrainConfig",
+    "TrainResult",
+    "LDAHyperParams",
+    "IndexTree",
+    "Corpus",
+    "NYTIMES",
+    "PUBMED",
+    "nytimes_like",
+    "pubmed_like",
+    "Machine",
+    "maxwell_platform",
+    "pascal_platform",
+    "volta_platform",
+    "__version__",
+]

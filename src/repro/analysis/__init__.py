@@ -1,0 +1,40 @@
+"""Analysis: the paper's characterization and evaluation metrics.
+
+- :mod:`repro.analysis.roofline` — the §3 roofline characterization
+  (Table 1's per-step Flops/Byte, Eq 3, ridge-point comparison).
+- :mod:`repro.analysis.metrics` — tokens/sec (Eq 2), speedup tables,
+  convergence summaries.
+- :mod:`repro.analysis.sparsity` — the θ-row sparsity evolution model
+  that drives Fig 7's ramp-up at full scale.
+"""
+
+from repro.analysis.metrics import speedup_table, tokens_per_sec
+from repro.analysis.roofline import (
+    RooflineStep,
+    average_flops_per_byte,
+    is_memory_bound,
+    table1_rows,
+)
+from repro.analysis.convergence import ConvergenceDetector
+from repro.analysis.sparsity import SparsityModel, fit_sparsity_model, measure_kd_curve
+from repro.analysis.topics import (
+    top_words_per_topic,
+    topic_diversity,
+    umass_coherence,
+)
+
+__all__ = [
+    "ConvergenceDetector",
+    "top_words_per_topic",
+    "topic_diversity",
+    "umass_coherence",
+    "RooflineStep",
+    "table1_rows",
+    "average_flops_per_byte",
+    "is_memory_bound",
+    "tokens_per_sec",
+    "speedup_table",
+    "SparsityModel",
+    "fit_sparsity_model",
+    "measure_kd_curve",
+]

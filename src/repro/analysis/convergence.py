@@ -1,0 +1,71 @@
+"""Convergence detection.
+
+The paper runs "hundreds of iterations to converge" and reports the
+first-100-iteration average; a library user wants to stop when the
+model is done. :class:`ConvergenceDetector` implements the standard
+plateau rule on the log-likelihood trace: converged when the relative
+improvement over a sliding window stays below a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergenceDetector"]
+
+
+@dataclass
+class ConvergenceDetector:
+    """Plateau detector over a (noisy, increasing) likelihood trace.
+
+    Parameters
+    ----------
+    rel_tolerance: converged when the window's relative improvement
+        ``(last - first) / |first|`` drops below this.
+    window: observations compared (a window of w spans w-1 deltas).
+    min_observations: never declare convergence before this many
+        observations (guards against a flat random start).
+    """
+
+    rel_tolerance: float = 1e-4
+    window: int = 3
+    min_observations: int = 4
+    _trace: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rel_tolerance <= 0:
+            raise ValueError("rel_tolerance must be positive")
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.min_observations < self.window:
+            raise ValueError("min_observations must be >= window")
+
+    def update(self, log_likelihood: float) -> bool:
+        """Record one observation; returns True once converged."""
+        if not np.isfinite(log_likelihood):
+            raise ValueError("log-likelihood must be finite")
+        self._trace.append(float(log_likelihood))
+        return self.converged
+
+    @property
+    def converged(self) -> bool:
+        t = self._trace
+        if len(t) < self.min_observations:
+            return False
+        first = t[-self.window]
+        last = t[-1]
+        denom = max(abs(first), 1e-12)
+        return (last - first) / denom < self.rel_tolerance
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._trace)
+
+    @property
+    def trace(self) -> list[float]:
+        return list(self._trace)
+
+    def reset(self) -> None:
+        self._trace.clear()

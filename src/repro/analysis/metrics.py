@@ -1,0 +1,45 @@
+"""Performance metrics: Eq 2 throughput and speedup tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tokens_per_sec", "speedup_table", "steady_state_mean", "time_to_likelihood"]
+
+
+def tokens_per_sec(num_tokens: int, num_iterations: int, elapsed_seconds: float) -> float:
+    """Eq 2 of the paper: #Tokens × #Iterations / ElapsedTime."""
+    if elapsed_seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return num_tokens * num_iterations / elapsed_seconds
+
+
+def speedup_table(baseline: float, others: dict[str, float]) -> dict[str, float]:
+    """Each entry's throughput ratio over *baseline* (the "up to 7.3X"
+    style numbers of §7.2)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return {name: value / baseline for name, value in others.items()}
+
+
+def steady_state_mean(series: np.ndarray, skip_fraction: float = 0.2) -> float:
+    """Mean of a per-iteration series after the ramp-up (Fig 7 reports
+    the first-100-iteration average; this helper gives the plateau)."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.size == 0:
+        raise ValueError("empty series")
+    skip = int(series.size * skip_fraction)
+    return float(series[skip:].mean())
+
+
+def time_to_likelihood(
+    times: np.ndarray, likelihoods: np.ndarray, target: float
+) -> float | None:
+    """First time at which the likelihood trace reaches *target*
+    (Fig 8's convergence-speed comparison). None if never reached."""
+    times = np.asarray(times, dtype=np.float64)
+    likelihoods = np.asarray(likelihoods, dtype=np.float64)
+    if times.shape != likelihoods.shape:
+        raise ValueError("times and likelihoods must align")
+    hit = np.nonzero(likelihoods >= target)[0]
+    return float(times[hit[0]]) if hit.size else None

@@ -1,0 +1,104 @@
+"""Roofline characterization of LDA sampling (paper §3, Table 1).
+
+Table 1 of the paper counts, for each step of one sparsity-aware LDA
+sampling, its floating-point operations and its memory traffic with
+32-bit integers (Int = 4 B) and 32-bit floats (Float = 4 B), θ in CSR:
+
+======================  =============================================  =====
+Step                    Formula                                        Value
+======================  =============================================  =====
+Compute S               4·K_d / (3·Int·K_d)                            0.33
+Compute Q               2·K / (2·Int·K)                                0.25
+Sampling from p1(k)     6·K_d / ((3·Int + 2·Float)·K_d)                0.30
+Sampling from p2(k)     3·K / ((2·Int + 2·Float)·K)                    0.19
+======================  =============================================  =====
+
+averaging 0.27 Flops/Byte — far below every processor's ridge point
+(the paper quotes 9.2 for its E5-2690 v4 host), hence LDA is memory
+bound. This module reproduces those numbers exactly and provides the
+ridge-point comparison for arbitrary device specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["RooflineStep", "table1_rows", "average_flops_per_byte", "is_memory_bound"]
+
+INT_BYTES = 4
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class RooflineStep:
+    """One row of Table 1. ``flops``/``bytes`` are per-unit coefficients
+    (per K_d element for the sparse steps, per K element for the dense
+    ones); their ratio is scale-free."""
+
+    name: str
+    formula: str
+    flops_per_elem: float
+    bytes_per_elem: float
+
+    @property
+    def flops_per_byte(self) -> float:
+        return self.flops_per_elem / self.bytes_per_elem
+
+
+def table1_rows() -> list[RooflineStep]:
+    """The four steps of one LDA sampling, exactly as in Table 1."""
+    return [
+        RooflineStep(
+            name="Compute S",
+            formula="4*Kd / (3*Int*Kd)",
+            flops_per_elem=4.0,
+            bytes_per_elem=3.0 * INT_BYTES,
+        ),
+        RooflineStep(
+            name="Compute Q",
+            formula="2*K / (2*Int*K)",
+            flops_per_elem=2.0,
+            bytes_per_elem=2.0 * INT_BYTES,
+        ),
+        RooflineStep(
+            name="Sampling from p1(k)",
+            formula="6*Kd / ((3*Int+2*Float)*Kd)",
+            flops_per_elem=6.0,
+            bytes_per_elem=3.0 * INT_BYTES + 2.0 * FLOAT_BYTES,
+        ),
+        RooflineStep(
+            name="Sampling from p2(k)",
+            formula="3*K / ((2*Int+2*Float)*K)",
+            flops_per_elem=3.0,
+            bytes_per_elem=2.0 * INT_BYTES + 2.0 * FLOAT_BYTES,
+        ),
+    ]
+
+
+def average_flops_per_byte() -> float:
+    """The paper's headline 0.27 (unweighted mean of the four steps)."""
+    rows = table1_rows()
+    return sum(r.flops_per_byte for r in rows) / len(rows)
+
+
+def is_memory_bound(spec: DeviceSpec, flops_per_byte: float | None = None) -> bool:
+    """Eq 3's test: the workload is memory-bound on *spec* iff its
+    arithmetic intensity is below the device's ridge point."""
+    fpb = average_flops_per_byte() if flops_per_byte is None else flops_per_byte
+    return fpb < spec.ridge_flops_per_byte
+
+
+def format_table1() -> str:
+    """Table 1 as printable text (used by the bench harness)."""
+    rows = table1_rows()
+    lines = [
+        f"{'Step':<22s} {'Formula':<34s} {'Flops/Byte':>10s}",
+        "-" * 68,
+    ]
+    for r in rows:
+        lines.append(f"{r.name:<22s} {r.formula:<34s} {r.flops_per_byte:>10.2f}")
+    lines.append("-" * 68)
+    lines.append(f"{'Average':<57s} {average_flops_per_byte():>10.2f}")
+    return "\n".join(lines)

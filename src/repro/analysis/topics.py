@@ -1,0 +1,74 @@
+"""Topic quality metrics: coherence, diversity, top-word extraction.
+
+Throughput (Eq 2) and likelihood (Fig 8) are the paper's metrics; a
+production library also needs the standard *topic quality* numbers to
+validate that speed did not cost meaning:
+
+- **UMass coherence** (Mimno et al. 2011): for each topic's top-N word
+  list, ``Σ_{i<j} log (D(w_i, w_j) + 1) / D(w_j)`` over document
+  co-occurrence counts — higher (closer to 0) is better.
+- **topic diversity**: fraction of unique words across all topics'
+  top-N lists — collapsed/duplicated topics score low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+
+__all__ = ["top_words_per_topic", "umass_coherence", "topic_diversity"]
+
+
+def top_words_per_topic(phi: np.ndarray, n: int = 10) -> np.ndarray:
+    """``int64[K, n]`` — the n highest-count word ids per topic."""
+    if n < 1 or n > phi.shape[1]:
+        raise ValueError("n must be in [1, V]")
+    return np.argsort(phi, axis=1)[:, ::-1][:, :n].astype(np.int64)
+
+
+def _doc_frequency(corpus: Corpus, word_ids: np.ndarray) -> dict[int, np.ndarray]:
+    """Per-word boolean document-incidence vectors for the given words."""
+    out: dict[int, np.ndarray] = {}
+    docs = corpus.token_doc
+    words = corpus.token_word
+    for w in np.unique(word_ids):
+        mask = np.zeros(corpus.num_docs, dtype=bool)
+        mask[docs[words == w]] = True
+        out[int(w)] = mask
+    return out
+
+
+def umass_coherence(
+    phi: np.ndarray, corpus: Corpus, top_n: int = 10
+) -> np.ndarray:
+    """``float64[K]`` — UMass coherence of each topic on *corpus*.
+
+    Less negative is better; random word lists score very negative.
+    """
+    tops = top_words_per_topic(phi, top_n)
+    incidence = _doc_frequency(corpus, tops.ravel())
+    K = phi.shape[0]
+    scores = np.zeros(K)
+    for k in range(K):
+        words = tops[k]
+        total = 0.0
+        pairs = 0
+        for j in range(1, len(words)):
+            dj = incidence[int(words[j])]
+            nj = dj.sum()
+            if nj == 0:
+                continue
+            for i in range(j):
+                co = np.logical_and(incidence[int(words[i])], dj).sum()
+                total += np.log((co + 1.0) / nj)
+                pairs += 1
+        scores[k] = total / pairs if pairs else 0.0
+    return scores
+
+
+def topic_diversity(phi: np.ndarray, top_n: int = 25) -> float:
+    """Unique fraction of the K × top_n top-word multiset, in (0, 1]."""
+    tops = top_words_per_topic(phi, min(top_n, phi.shape[1]))
+    unique = np.unique(tops).size
+    return unique / tops.size

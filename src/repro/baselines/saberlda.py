@@ -1,0 +1,52 @@
+r"""SaberLDA-like prior-GPU baseline (Li et al., ASPLOS 2017).
+
+SaberLDA is the GPU LDA system the paper compares against (§7.2). Its
+code is not public — the paper cites its published number (120 M
+tokens/s for NYTimes on a GTX 1080). We substitute a *measurable*
+stand-in: CuLDA's own sampling pipeline with the paper's novel
+optimizations disabled —
+
+- no block-shared p₂ index tree (every warp stages its own dense data),
+- no sub-expression (p\*) reuse,
+- no 16-bit compression,
+- single GPU only (SaberLDA "lacks of multi-GPU support", §7.2).
+
+This keeps the baseline sparsity-aware (SaberLDA is) while removing
+exactly the deltas the paper credits for its win, so the measured gap
+is the ablation the comparison implies. See DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.culda import CuLDA, TrainConfig, TrainResult
+from repro.corpus.corpus import Corpus
+from repro.gpusim.platform import Machine, pascal_platform
+
+__all__ = ["SaberLDA"]
+
+
+class SaberLDA:
+    """Single-GPU sparsity-aware LDA without CuLDA's optimizations."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        machine: Machine | None = None,
+        config: TrainConfig | None = None,
+    ):
+        machine = machine or pascal_platform(1)
+        if len(machine.gpus) != 1:
+            raise ValueError("SaberLDA supports a single GPU only")
+        base = config or TrainConfig()
+        self.config = replace(
+            base,
+            share_p2_tree=False,
+            reuse_pstar=False,
+            compressed=False,
+        )
+        self._trainer = CuLDA(corpus, machine, self.config)
+
+    def train(self) -> TrainResult:
+        return self._trainer.train()

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-lda train    # train CuLDA_CGS on a UCI file or synthetic twin
+    repro-lda infer    # fold new documents into a saved model
+    repro-lda project  # print a paper artifact (table4/table5/fig7/fig9)
+
+Examples
+--------
+::
+
+    repro-lda train --synthetic nytimes --tokens 50000 --topics 32 \
+        --iterations 30 --platform pascal --gpus 2 --save model.npz
+    repro-lda infer --model model.npz --synthetic nytimes --tokens 5000
+    repro-lda project table4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+PLATFORMS = ("maxwell", "pascal", "volta", "dgx")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lda",
+        description="CuLDA_CGS reproduction: train/infer LDA on a "
+        "simulated multi-GPU machine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_corpus_args(p: argparse.ArgumentParser) -> None:
+        src = p.add_mutually_exclusive_group(required=True)
+        src.add_argument("--uci", metavar="DOCWORD",
+                         help="UCI bag-of-words file (docword.*.txt[.gz])")
+        src.add_argument("--synthetic", choices=("nytimes", "pubmed"),
+                         help="generate a synthetic twin corpus")
+        p.add_argument("--vocab", metavar="FILE",
+                       help="UCI vocab file (with --uci)")
+        p.add_argument("--tokens", type=int, default=50_000,
+                       help="twin size in tokens (with --synthetic)")
+        p.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser("train", help="train a model")
+    add_corpus_args(t)
+    t.add_argument("--topics", type=int, default=128, help="K")
+    t.add_argument("--iterations", type=int, default=100)
+    t.add_argument("--platform", choices=PLATFORMS, default="volta")
+    t.add_argument("--gpus", type=int, default=1)
+    t.add_argument("--likelihood-every", type=int, default=0)
+    t.add_argument("--no-compression", action="store_true",
+                   help="disable 16-bit compression (§6.1.3)")
+    t.add_argument("--sync", choices=("gpu_tree", "ring", "cpu_gather"),
+                   default="gpu_tree")
+    t.add_argument("--save", metavar="FILE", help="write model checkpoint")
+    t.add_argument("--report", metavar="FILE",
+                   help="write a markdown run report")
+    t.add_argument("--top-words", type=int, default=0,
+                   help="print N top word-ids per topic")
+
+    i = sub.add_parser("infer", help="fold documents into a saved model")
+    add_corpus_args(i)
+    i.add_argument("--model", required=True, help="checkpoint from train --save")
+    i.add_argument("--iterations", type=int, default=20)
+
+    p = sub.add_parser("project", help="print a paper artifact")
+    p.add_argument("artifact", choices=("table1", "table4", "table5",
+                                        "fig7", "fig9"))
+    p.add_argument("--dataset", choices=("NYTimes", "PubMed"),
+                   default="NYTimes", help="for fig7")
+    return parser
+
+
+def _load_corpus(args: argparse.Namespace):
+    from repro.corpus.synthetic import nytimes_like, pubmed_like
+    from repro.corpus.uci import read_uci_bow
+
+    if args.uci:
+        return read_uci_bow(args.uci, vocab_path=args.vocab)
+    maker = nytimes_like if args.synthetic == "nytimes" else pubmed_like
+    return maker(num_tokens=args.tokens, seed=args.seed)
+
+
+def _machine(platform: str, gpus: int):
+    from repro.gpusim.platform import (
+        dgx_platform,
+        maxwell_platform,
+        pascal_platform,
+        volta_platform,
+    )
+
+    return {
+        "maxwell": maxwell_platform,
+        "pascal": pascal_platform,
+        "volta": volta_platform,
+        "dgx": dgx_platform,
+    }[platform](gpus)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import CuLDA, TrainConfig, save_model
+
+    corpus = _load_corpus(args)
+    machine = _machine(args.platform, args.gpus)
+    result = CuLDA(
+        corpus,
+        machine=machine,
+        config=TrainConfig(
+            num_topics=args.topics,
+            iterations=args.iterations,
+            seed=args.seed,
+            compressed=not args.no_compression,
+            sync_algorithm=args.sync,
+            likelihood_every=args.likelihood_every,
+        ),
+    ).train()
+    print(result.summary())
+    if args.top_words:
+        vocab = corpus.vocabulary
+        for k in range(result.hyper.num_topics):
+            ids = result.top_words(k, n=args.top_words)
+            shown = (
+                " ".join(vocab.word_of(w) for w in ids) if vocab else str(ids)
+            )
+            print(f"topic {k:>3d}: {shown}")
+    if args.save:
+        save_model(result, args.save, vocabulary=corpus.vocabulary)
+        print(f"model saved to {args.save}")
+    if args.report:
+        from repro.report import render_markdown
+
+        with open(args.report, "w") as fh:
+            fh.write(render_markdown(result, machine, corpus.vocabulary))
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.core import infer_documents, load_model
+
+    ckpt = load_model(args.model)
+    corpus = _load_corpus(args)
+    if corpus.num_words > ckpt.num_words:
+        print(
+            f"error: corpus vocabulary ({corpus.num_words}) exceeds the "
+            f"model's ({ckpt.num_words})",
+            file=sys.stderr,
+        )
+        return 2
+    inf = infer_documents(
+        corpus, ckpt.phi, ckpt.hyper, iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(f"folded {corpus.num_docs} documents ({corpus.num_tokens} tokens) "
+          f"into {args.model}")
+    print(f"held-out log-likelihood/token: {inf.log_likelihood_per_token:.4f}")
+    dominant = np.argmax(inf.doc_topic, axis=1)
+    hist = np.bincount(dominant, minlength=ckpt.num_topics)
+    print("dominant-topic histogram:",
+          " ".join(f"{k}:{c}" for k, c in enumerate(hist) if c))
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    if args.artifact == "table1":
+        from repro.analysis.roofline import format_table1
+
+        print(format_table1())
+        return 0
+    from repro.perfmodel import (
+        fig7_series,
+        fig9_scaling,
+        table4_throughput,
+        table5_breakdown,
+    )
+
+    if args.artifact == "table4":
+        t4 = table4_throughput()
+        for ds, row in t4.items():
+            cells = "  ".join(f"{p}={v / 1e6:.1f}M" for p, v in row.items())
+            print(f"{ds:<8s} {cells}")
+    elif args.artifact == "table5":
+        t5 = table5_breakdown()
+        for platform, row in t5.items():
+            cells = "  ".join(f"{k}={v * 100:.1f}%" for k, v in row.items())
+            print(f"{platform:<7s} {cells}")
+    elif args.artifact == "fig7":
+        series = fig7_series(args.dataset)
+        for name, s in series.items():
+            pts = " ".join(f"{v / 1e6:.0f}" for v in s[::10])
+            print(f"{name:<8s} {pts}  (M tokens/s, every 10th iteration)")
+    elif args.artifact == "fig9":
+        f9 = fig9_scaling()
+        for g, d in f9.items():
+            print(f"{g} GPU(s): {d['speedup']:.2f}x")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "infer":
+        return _cmd_infer(args)
+    return _cmd_project(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Distributed-cluster substrate for the LDA* baseline.
+
+The paper's distributed comparator (LDA*, Yu et al. VLDB 2017) runs on
+commodity nodes linked by 10 Gb/s Ethernet with a sharded parameter
+server. This subpackage simulates that substrate:
+
+- :mod:`repro.cluster.network` — a star network of Ethernet links with
+  per-node contention.
+- :mod:`repro.cluster.paramserver` — a sharded parameter server holding
+  φ, with per-iteration pull (fresh slices) / push (deltas) traffic.
+"""
+
+from repro.cluster.network import ClusterNetwork
+from repro.cluster.paramserver import ShardedParameterServer
+
+__all__ = ["ClusterNetwork", "ShardedParameterServer"]

@@ -1,0 +1,56 @@
+"""Cluster network: a star of Ethernet links.
+
+Each node has one full-duplex NIC into a non-blocking switch; a node's
+ingress and egress serialize on its own link (that is the bottleneck
+the paper's §3/§7.2 argument rests on: 10 Gb/s = 1.25 GB/s per node
+versus 13 GB/s effective PCIe or 300 GB/s NVLink inside one box).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.interconnect import Link
+
+__all__ = ["ClusterNetwork"]
+
+#: 10 Gb/s Ethernet in GB/s (the interconnect used by LDA*, §7.2).
+TEN_GBE_GBPS = 1.25
+
+
+class ClusterNetwork:
+    """A star network of *num_nodes* nodes behind a non-blocking switch."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        link_gbps: float = TEN_GBE_GBPS,
+        latency_seconds: float = 50e-6,
+    ):
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        self.num_nodes = num_nodes
+        self.links = [
+            Link(f"eth[{i}]", link_gbps, latency_seconds, duplex=True)
+            for i in range(num_nodes)
+        ]
+
+    def send(
+        self, src: int, dst: int, nbytes: float, earliest: float
+    ) -> tuple[float, float]:
+        """Time a message src → dst: serialized on the source's egress
+        and the destination's ingress; the switch adds nothing.
+
+        Returns the (start, end) interval of the transfer.
+        """
+        if src == dst:
+            return earliest, earliest
+        s1, e1 = self.links[src].reserve(nbytes, earliest, direction=0)
+        s2, e2 = self.links[dst].reserve(nbytes, s1, direction=1)
+        return s1, max(e1, e2)
+
+    def node_busy_until(self, node: int) -> float:
+        return max(self.links[node].busy_until(0), self.links[node].busy_until(1))
+
+    def total_bytes(self) -> float:
+        """Total bytes injected into the network (each message counted
+        once per traversed link)."""
+        return sum(l.bytes_carried for l in self.links)

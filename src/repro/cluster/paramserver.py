@@ -1,0 +1,96 @@
+"""Sharded parameter server for the LDA* baseline.
+
+LDA* keeps the topic–word matrix φ in a parameter server sharded across
+the worker nodes themselves (so aggregate server bandwidth scales with
+the cluster). Every iteration each worker
+
+- **pulls** the φ rows for the words its partition contains, and
+- **pushes** its count deltas for those words,
+
+each message timed on the sender's/receiver's Ethernet links. The
+functional content (the actual counts) is exact; staleness appears only
+through the iteration-granular sync, the same delayed-update semantics
+as the GPU trainer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.network import ClusterNetwork
+
+__all__ = ["ShardedParameterServer"]
+
+
+class ShardedParameterServer:
+    """φ sharded by word across *num_shards* server nodes.
+
+    Shard of word v is ``v % num_shards`` (hash sharding). In the LDA*
+    deployment servers are co-located with workers, so shard *s* lives
+    on node *s*.
+    """
+
+    def __init__(self, phi: np.ndarray, num_shards: int, network: ClusterNetwork):
+        if num_shards < 1 or num_shards > network.num_nodes:
+            raise ValueError("num_shards must be in [1, num_nodes]")
+        self.phi = phi.astype(np.int64)
+        self.num_shards = num_shards
+        self.network = network
+        self.bytes_pulled = 0.0
+        self.bytes_pushed = 0.0
+
+    def shard_of(self, word: int) -> int:
+        return word % self.num_shards
+
+    def _traffic_split(self, words: np.ndarray) -> np.ndarray:
+        """Words per shard for a worker's word set."""
+        return np.bincount(words % self.num_shards, minlength=self.num_shards)
+
+    def pull(
+        self, worker: int, words: np.ndarray, earliest: float, entry_bytes: int = 4
+    ) -> tuple[np.ndarray, float]:
+        """Fetch φ[:, words] (and n_k); returns (slice, completion time).
+
+        One message per shard, shard-node → worker, each of
+        ``K × |words_in_shard| × entry_bytes``.
+        """
+        K = self.phi.shape[0]
+        done = earliest
+        for shard, count in enumerate(self._traffic_split(words)):
+            if count == 0:
+                continue
+            nbytes = float(K) * int(count) * entry_bytes + K * 8
+            self.bytes_pulled += nbytes
+            _, end = self.network.send(shard, worker, nbytes, earliest)
+            done = max(done, end)
+        return self.phi[:, words].copy(), done
+
+    def push(
+        self,
+        worker: int,
+        words: np.ndarray,
+        delta: np.ndarray,
+        earliest: float,
+        entry_bytes: int = 4,
+    ) -> float:
+        """Apply a worker's Δφ for its word set; returns completion time.
+
+        One message per shard, worker → shard-node.
+        """
+        if delta.shape != (self.phi.shape[0], words.size):
+            raise ValueError("delta must be (K, |words|)")
+        K = self.phi.shape[0]
+        done = earliest
+        for shard, count in enumerate(self._traffic_split(words)):
+            if count == 0:
+                continue
+            nbytes = float(K) * int(count) * entry_bytes
+            self.bytes_pushed += nbytes
+            _, end = self.network.send(worker, shard, nbytes, earliest)
+            done = max(done, end)
+        self.phi[:, words] += delta
+        return done
+
+    @property
+    def n_k(self) -> np.ndarray:
+        return self.phi.sum(axis=1)

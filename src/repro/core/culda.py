@@ -1,0 +1,484 @@
+"""CuLDA_CGS: the multi-GPU LDA trainer (paper Alg 1 + §4–6).
+
+This is the library's primary public API::
+
+    from repro.core import CuLDA, TrainConfig
+    from repro.corpus import nytimes_like
+    from repro.gpusim import pascal_platform
+
+    corpus = nytimes_like(num_tokens=100_000)
+    trainer = CuLDA(corpus, machine=pascal_platform(4),
+                    config=TrainConfig(num_topics=64, iterations=50))
+    result = trainer.train()
+    print(result.summary())
+
+`train()` runs the full pipeline: CPU-side preprocessing (word-first
+sort, document–word maps), memory-driven chunking (C = M × G), the
+WorkSchedule1/WorkSchedule2 iteration loop with per-GPU sampling and
+update kernels, and the φ reduce-tree synchronization — all on the
+simulated machine, with real Gibbs numerics. Results carry both the
+statistical outputs (φ, θ, topic assignments, log-likelihood trace) and
+the performance outputs (simulated per-iteration throughput, kernel
+time breakdown) the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus, TokenChunk
+from repro.core.kernels import KernelConfig, accumulate_phi
+from repro.core.likelihood import _doc_log_likelihood, word_log_likelihood
+from repro.core.model import LDAHyperParams, SparseTheta
+from repro.gpusim.costmodel import KernelCost
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.platform import Machine, volta_platform
+from repro.sched.partition import PartitionPlan, choose_chunking
+from repro.sched.schedule import (
+    ChunkRuntime,
+    DeviceChunk,
+    GpuWorker,
+    download_chunk,
+    run_iteration_resident,
+    run_iteration_streaming,
+    upload_chunk,
+)
+
+__all__ = ["TrainConfig", "IterationStats", "TrainResult", "CuLDA"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Configuration of one training run.
+
+    Defaults follow the paper: α = 50/K, β = 0.01, all kernel
+    optimizations on, GPU-tree synchronization, overlapped transfers.
+    """
+
+    num_topics: int = 128
+    alpha: float | None = None          # None → 50/K
+    beta: float = 0.01
+    iterations: int = 100
+    seed: int = 0
+    # Kernel optimization switches (ablations flip these).
+    compressed: bool = True
+    sparse_sampler: bool = True
+    share_p2_tree: bool = True
+    reuse_pstar: bool = True
+    tree_fanout: int = 32
+    # Scheduling.
+    chunks_per_gpu: int | None = None   # None → smallest M that fits (§5.1)
+    sync_algorithm: str = "gpu_tree"    # or "ring" / "cpu_gather"
+    overlap_transfers: bool = True
+    # Analysis.
+    likelihood_every: int = 0           # 0 = only at the end
+    #: Early stopping: stop once the likelihood plateau's relative
+    #: improvement falls below this (requires likelihood_every > 0).
+    stop_rel_tolerance: float | None = None
+
+    def hyper(self) -> LDAHyperParams:
+        return LDAHyperParams(
+            num_topics=self.num_topics,
+            alpha=-1.0 if self.alpha is None else self.alpha,
+            beta=self.beta,
+        )
+
+    def kernel_config(self) -> KernelConfig:
+        return KernelConfig(
+            sparse_sampler=self.sparse_sampler,
+            share_p2_tree=self.share_p2_tree,
+            reuse_pstar=self.reuse_pstar,
+            compressed=self.compressed,
+            tree_fanout=self.tree_fanout,
+        )
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Per-iteration measurements (the Fig 7 series)."""
+
+    iteration: int
+    sim_seconds: float
+    tokens_per_sec: float
+    mean_kd: float
+    p1_fraction: float
+    log_likelihood_per_token: float | None = None
+
+
+@dataclass
+class TrainResult:
+    """Outputs of one training run."""
+
+    corpus_name: str
+    machine_name: str
+    num_gpus: int
+    num_tokens: int
+    plan_chunks: int
+    chunks_per_gpu: int
+    iterations: list[IterationStats]
+    total_sim_seconds: float
+    wall_seconds: float
+    breakdown: dict[str, float]
+    phi: np.ndarray
+    theta: SparseTheta
+    hyper: LDAHyperParams
+    #: High-water device-memory mark across GPUs (bytes) — what §5.1's
+    #: chunking decision actually bounded.
+    peak_device_bytes: int = 0
+    #: Per-token topic assignment in the ORIGINAL corpus token order
+    #: (int32[T]); None only for legacy constructions.
+    topics: np.ndarray | None = None
+
+    @property
+    def avg_tokens_per_sec(self) -> float:
+        """Eq 2 over the whole run: T × iters / simulated elapsed."""
+        iters = len(self.iterations)
+        if self.total_sim_seconds == 0:
+            return 0.0
+        return self.num_tokens * iters / self.total_sim_seconds
+
+    @property
+    def final_log_likelihood(self) -> float | None:
+        for it in reversed(self.iterations):
+            if it.log_likelihood_per_token is not None:
+                return it.log_likelihood_per_token
+        return None
+
+    def top_words(self, topic: int, n: int = 10) -> list[int]:
+        """Word ids with the highest φ counts for *topic*."""
+        if not 0 <= topic < self.phi.shape[0]:
+            raise IndexError("topic out of range")
+        col = self.phi[topic]
+        return [int(w) for w in np.argsort(col)[::-1][:n]]
+
+    def summary(self) -> str:
+        ll = self.final_log_likelihood
+        lines = [
+            f"CuLDA_CGS on {self.machine_name} ({self.num_gpus} GPU(s))",
+            f"  corpus: {self.corpus_name}  T={self.num_tokens:,}  "
+            f"K={self.hyper.num_topics}",
+            f"  chunks: C={self.plan_chunks} (M={self.chunks_per_gpu})",
+            f"  iterations: {len(self.iterations)}  "
+            f"simulated: {self.total_sim_seconds:.3f}s  "
+            f"wall: {self.wall_seconds:.1f}s",
+            f"  throughput: {self.avg_tokens_per_sec / 1e6:.1f}M tokens/sec (simulated)",
+        ]
+        if ll is not None:
+            lines.append(f"  log-likelihood/token: {ll:.4f}")
+        kinds = ("sampling", "update_theta", "update_phi", "sync")
+        parts = ", ".join(
+            f"{k} {self.breakdown.get(k, 0.0) * 100:.1f}%" for k in kinds
+        )
+        lines.append(f"  breakdown: {parts}")
+        return "\n".join(lines)
+
+
+class CuLDA:
+    """The CuLDA_CGS trainer.
+
+    Parameters
+    ----------
+    corpus: input corpus.
+    machine: simulated platform; defaults to a 1-GPU Volta machine.
+    config: training configuration.
+
+    Notes
+    -----
+    Determinism: runs with the same corpus, config and seed produce
+    bit-identical models *regardless of the GPU count*, because each
+    chunk owns an independent RNG spawned by chunk id and the integer φ
+    reduction is order-independent. (Requires the same chunk count C —
+    pin ``chunks_per_gpu`` when comparing across G.)
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        machine: Machine | None = None,
+        config: TrainConfig | None = None,
+        warm_start_phi: np.ndarray | None = None,
+    ):
+        self.corpus = corpus
+        self.machine = machine or volta_platform(1)
+        self.config = config or TrainConfig()
+        if not self.machine.gpus:
+            raise ValueError("machine has no GPUs")
+        if warm_start_phi is not None:
+            expected = (self.config.num_topics, corpus.num_words)
+            if warm_start_phi.shape != expected:
+                raise ValueError(
+                    f"warm_start_phi shape {warm_start_phi.shape} != {expected}"
+                )
+        self._warm_start_phi = warm_start_phi
+        self._validate_compression()
+
+    def _validate_compression(self) -> None:
+        cfg = self.config
+        if not cfg.compressed:
+            return
+        cfg.hyper().topic_dtype(compressed=True)  # raises if K too large
+        max_freq = int(self.corpus.word_frequencies().max(initial=0))
+        if max_freq >= 2**16:
+            raise ValueError(
+                f"word frequency {max_freq} overflows 16-bit φ compression; "
+                "set TrainConfig(compressed=False)"
+            )
+
+    # ------------------------------------------------------------------
+    def train(self) -> TrainResult:
+        """Run the full training loop (Alg 1). Returns a TrainResult."""
+        wall_start = time.perf_counter()
+        cfg = self.config
+        hyper = cfg.hyper()
+        kcfg = cfg.kernel_config()
+        machine = self.machine
+        G = len(machine.gpus)
+
+        plan = choose_chunking(
+            self.corpus,
+            G,
+            hyper,
+            kcfg,
+            machine.gpus[0].spec,
+            chunks_per_gpu=cfg.chunks_per_gpu,
+        )
+        runtimes = self._init_runtimes(plan, hyper, kcfg)
+        phi_host = self._initial_phi(runtimes, hyper, kcfg)
+        workers = [
+            GpuWorker(dev, hyper.num_topics, self.corpus.num_words, kcfg)
+            for dev in machine.gpus
+        ]
+
+        # --- initial distribution (Alg 1 lines 7-9) -------------------
+        dev_chunks: list[DeviceChunk] = []
+        for g, w in enumerate(workers):
+            machine.memcpy_h2d(w.phi_full, phi_host, stream=w.upload, label="h2d:phi")
+            self._launch_nk(w, kcfg)
+        if plan.chunks_per_gpu == 1:
+            dev_chunks = [
+                upload_chunk(machine, workers[g], runtimes[g])
+                for g in range(G)
+            ]
+        machine.synchronize()
+        machine.reset_clock()  # measure iterations from t=0, as Fig 7 does
+
+        # --- iteration loop (Alg 1 lines 10-16 / 23-34) ----------------
+        detector = None
+        if cfg.stop_rel_tolerance is not None:
+            if not cfg.likelihood_every:
+                raise ValueError(
+                    "stop_rel_tolerance requires likelihood_every > 0"
+                )
+            from repro.analysis.convergence import ConvergenceDetector
+
+            detector = ConvergenceDetector(rel_tolerance=cfg.stop_rel_tolerance)
+
+        stats: list[IterationStats] = []
+        t_prev = 0.0
+        for it in range(cfg.iterations):
+            if plan.chunks_per_gpu == 1:
+                run_iteration_resident(
+                    machine, workers, runtimes, dev_chunks, hyper, kcfg,
+                    cfg.sync_algorithm,
+                )
+            else:
+                run_iteration_streaming(
+                    machine, workers, runtimes, hyper, kcfg,
+                    plan.chunks_per_gpu, cfg.sync_algorithm,
+                    overlap=cfg.overlap_transfers,
+                )
+            t_now = machine.synchronize()
+            dt = t_now - t_prev
+            t_prev = t_now
+            ll = None
+            if cfg.likelihood_every and (it + 1) % cfg.likelihood_every == 0:
+                ll = self._likelihood(runtimes, workers[0], hyper)
+            kd = np.array([r.last_stats.mean_kd for r in runtimes])
+            p1 = np.array([r.last_stats.p1_fraction for r in runtimes])
+            weights = np.array([r.chunk.num_tokens for r in runtimes], dtype=float)
+            weights /= weights.sum()
+            stats.append(
+                IterationStats(
+                    iteration=it,
+                    sim_seconds=dt,
+                    tokens_per_sec=self.corpus.num_tokens / dt if dt > 0 else 0.0,
+                    mean_kd=float(kd @ weights),
+                    p1_fraction=float(p1 @ weights),
+                    log_likelihood_per_token=ll,
+                )
+            )
+            if detector is not None and ll is not None and detector.update(ll):
+                break
+        total_sim = machine.synchronize()
+
+        # --- final collection (Alg 1 lines 17-20 / 35) -----------------
+        machine.memcpy_d2h(workers[0].phi_full, stream=workers[0].download,
+                           label="d2h:phi")
+        if plan.chunks_per_gpu == 1:
+            for g in range(G):
+                download_chunk(machine, workers[g], runtimes[g], dev_chunks[g])
+        machine.synchronize()
+
+        final_ll = self._likelihood(runtimes, workers[0], hyper)
+        if stats:
+            last = stats[-1]
+            stats[-1] = IterationStats(
+                iteration=last.iteration,
+                sim_seconds=last.sim_seconds,
+                tokens_per_sec=last.tokens_per_sec,
+                mean_kd=last.mean_kd,
+                p1_fraction=last.p1_fraction,
+                log_likelihood_per_token=final_ll,
+            )
+
+        breakdown = machine.trace.breakdown_fractions(
+            ("sampling", "update_theta", "update_phi", "sync", "h2d", "d2h")
+        )
+        phi_final = workers[0].phi_full.data.astype(np.int32).copy()
+        theta_final = self._merge_theta(runtimes, hyper)
+        topics_final = self._merge_topics(runtimes)
+        peak = max(gpu.allocator.peak_bytes for gpu in machine.gpus)
+        for w in workers:
+            w.free_all()
+
+        return TrainResult(
+            corpus_name=self.corpus.name,
+            machine_name=machine.name,
+            num_gpus=G,
+            num_tokens=self.corpus.num_tokens,
+            plan_chunks=plan.num_chunks,
+            chunks_per_gpu=plan.chunks_per_gpu,
+            iterations=stats,
+            total_sim_seconds=total_sim,
+            wall_seconds=time.perf_counter() - wall_start,
+            breakdown=breakdown,
+            phi=phi_final,
+            theta=theta_final,
+            hyper=hyper,
+            peak_device_bytes=peak,
+            topics=topics_final,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _init_runtimes(
+        self, plan: PartitionPlan, hyper: LDAHyperParams, kcfg: KernelConfig
+    ) -> list[ChunkRuntime]:
+        """CPU preprocessing: chunk layouts, initial topics, initial θ.
+
+        Chunk RNGs are spawned from the seed by chunk id, making results
+        independent of the GPU count at fixed C. Initial topics are
+        uniform random (paper §2.1) unless a warm-start φ was given, in
+        which case each token's topic is drawn from p(k | w) ∝ φ_kw + β.
+        """
+        master = np.random.default_rng(self.config.seed)
+        children = master.spawn(len(plan.doc_ranges) + 1)
+        runtimes = []
+        dtype = hyper.topic_dtype(kcfg.compressed)
+        warm_cdf = None
+        if self._warm_start_phi is not None:
+            w = self._warm_start_phi.astype(np.float64) + hyper.beta
+            warm_cdf = np.cumsum(w / w.sum(axis=0, keepdims=True), axis=0)
+            warm_cdf[-1, :] = 1.0
+        for cid, (lo, hi) in enumerate(plan.doc_ranges):
+            chunk = TokenChunk.from_corpus_range(self.corpus, lo, hi)
+            rng = children[cid]
+            if warm_cdf is None:
+                topics = rng.integers(
+                    0, hyper.num_topics, size=chunk.num_tokens
+                ).astype(dtype)
+            else:
+                words = chunk.token_word_expanded().astype(np.int64)
+                u = rng.random(chunk.num_tokens)
+                topics = np.empty(chunk.num_tokens, dtype=np.int64)
+                step = max(1, (1 << 22) // hyper.num_topics)
+                for lo_t in range(0, chunk.num_tokens, step):
+                    sel = slice(lo_t, min(lo_t + step, chunk.num_tokens))
+                    cols = warm_cdf[:, words[sel]]  # (K, m)
+                    topics[sel] = (cols > u[sel][None, :]).argmax(axis=0)
+                topics = topics.astype(dtype)
+            theta = SparseTheta.from_assignments(
+                chunk, topics, hyper.num_topics, kcfg.compressed
+            )
+            runtimes.append(ChunkRuntime(cid, chunk, topics, theta, rng))
+        return runtimes
+
+    def _initial_phi(
+        self,
+        runtimes: list[ChunkRuntime],
+        hyper: LDAHyperParams,
+        kcfg: KernelConfig,
+    ) -> np.ndarray:
+        """The full initial φ (host-side, part of preprocessing)."""
+        phi = np.zeros((hyper.num_topics, self.corpus.num_words), dtype=np.int64)
+        for r in runtimes:
+            phi += accumulate_phi(r.chunk, r.topics, hyper.num_topics)
+        if kcfg.compressed and phi.max(initial=0) >= 2**16:
+            raise OverflowError("initial φ overflows 16-bit compression")
+        dtype = np.uint16 if kcfg.compressed else np.int32
+        return phi.astype(dtype)
+
+    def _launch_nk(self, worker: GpuWorker, kcfg: KernelConfig) -> None:
+        K, V = worker.phi_full.shape
+
+        def body() -> None:
+            worker.n_k.data[...] = worker.phi_full.data.astype(np.int64).sum(axis=1)
+
+        KernelLaunch(
+            body,
+            KernelCost(
+                bytes_read=float(K) * V * kcfg.phi_bytes,
+                bytes_written=K * 8.0,
+                flops=float(K) * V,
+            ),
+            "n_k_rowsum",
+            "sync",
+        ).launch(worker.upload)
+
+    def _likelihood(
+        self,
+        runtimes: list[ChunkRuntime],
+        worker0: GpuWorker,
+        hyper: LDAHyperParams,
+    ) -> float:
+        """Joint log-likelihood per token from the host mirrors.
+
+        Analysis-only (not charged to the simulated clock), as the paper
+        evaluates likelihood offline from model snapshots.
+        """
+        phi = worker0.phi_full.data.astype(np.int64)
+        n_k = phi.sum(axis=1)
+        ll = word_log_likelihood(phi, n_k, hyper, self.corpus.num_words)
+        for r in runtimes:
+            ll += _doc_log_likelihood(r.theta, r.chunk.doc_lengths, hyper)
+        return ll / self.corpus.num_tokens
+
+    def _merge_topics(self, runtimes: list[ChunkRuntime]) -> np.ndarray:
+        """Scatter each chunk's (word-sorted) topics back to the original
+        corpus token order via the stored source positions."""
+        out = np.empty(self.corpus.num_tokens, dtype=np.int32)
+        for r in runtimes:
+            base = int(self.corpus.doc_indptr[r.chunk.doc_offset])
+            out[base + r.chunk.source_pos] = r.topics.astype(np.int32)
+        return out
+
+    def _merge_theta(
+        self, runtimes: list[ChunkRuntime], hyper: LDAHyperParams
+    ) -> SparseTheta:
+        """Concatenate the chunk θs into one corpus-wide CSR (chunks
+        partition documents contiguously and in order)."""
+        indptrs = [runtimes[0].theta.indptr]
+        offset = runtimes[0].theta.indptr[-1]
+        for r in runtimes[1:]:
+            indptrs.append(r.theta.indptr[1:] + offset)
+            offset += r.theta.indptr[-1]
+        return SparseTheta(
+            np.concatenate(indptrs),
+            np.concatenate([r.theta.indices for r in runtimes]),
+            np.concatenate([r.theta.data for r in runtimes]),
+            hyper.num_topics,
+        )

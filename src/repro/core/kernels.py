@@ -1,0 +1,471 @@
+"""GPU kernels: sampling, update-θ, update-φ (paper §6) — functional
+bodies plus their roofline cost accounting.
+
+Each kernel has two halves:
+
+- a **functional body**: fully vectorized NumPy that computes exactly
+  what the CUDA kernel computes (new topic assignments; recounted θ;
+  the chunk's partial φ), and
+- a **cost function**: the kernel's global-memory traffic, flops, atomic
+  count and launch geometry, derived from the same per-step byte
+  formulas as the paper's Table 1 and from the launch plan of §6.1.2
+  (one warp = one sampler, 32 samplers per block, blocks own words,
+  heavy words split across blocks).
+
+The :class:`KernelConfig` flags turn the paper's individual
+optimizations on and off, which is what the ablation benchmarks sweep:
+
+``sparse_sampler``      Eq 6 S/Q decomposition vs dense O(K) sampling.
+``share_p2_tree``       per-block shared p₂ tree (word-first sort) vs
+                        per-sampler private p₂ data.
+``reuse_pstar``         stage p*(k) once per word in shared memory vs
+                        recomputing φ-column reads per token.
+``compressed``          16-bit topic indices / φ entries vs 32-bit.
+
+Sampling semantics
+------------------
+As in the paper, the sampling kernel reads the *iteration-start* model
+(θ replica, broadcast φ) and writes new topics; the update kernels then
+rebuild θ and the chunk-partial φ. This delayed-update CGS is the
+standard GPU formulation (the paper's separate sampling/update kernels);
+the sequential exact-CGS oracle lives in
+:mod:`repro.baselines.gibbs_reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.corpus import TokenChunk
+from repro.core.model import LDAHyperParams, SparseTheta
+from repro.gpusim.costmodel import KernelCost
+
+__all__ = [
+    "KernelConfig",
+    "SamplingStats",
+    "gibbs_sample_chunk",
+    "recount_theta",
+    "accumulate_phi",
+    "sampling_launch_plan",
+    "sampling_cost",
+    "update_theta_cost",
+    "update_phi_cost",
+    "phi_reduce_cost",
+]
+
+#: Threads per warp — one warp is one sampler (§6.1.1).
+WARP_SIZE = 32
+#: Samplers (warps) per thread block — "the allowed maximal value" (§6.1.2).
+SAMPLERS_PER_BLOCK = 32
+#: Tokens a sampler processes per block assignment; beyond this a heavy
+#: word spills into additional blocks (load-balance rule of §6.1.2).
+TOKENS_PER_SAMPLER = 16
+#: Token capacity of one block.
+BLOCK_TOKEN_CAPACITY = SAMPLERS_PER_BLOCK * TOKENS_PER_SAMPLER
+#: DRAM transaction granularity: a warp's θ-row read rounds up to this.
+CACHELINE_BYTES = 128
+#: Fixed per-token global traffic that is independent of K_d: RNG state,
+#: p₂ leaf transactions (the Fig 5 "two elements of p[8]"), tree-path
+#: spills, and transaction padding. Calibrated against Table 4 (see
+#: EXPERIMENTS.md).
+TOKEN_OVERHEAD_BYTES = 240.0
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Optimization switches for the sampling/update kernels."""
+
+    sparse_sampler: bool = True
+    share_p2_tree: bool = True
+    reuse_pstar: bool = True
+    compressed: bool = True
+    tree_fanout: int = 32
+    #: Max flat (token × K_d) expansion entries held at once by the
+    #: functional sampler; bounds host memory, no effect on results.
+    token_slab: int = 1 << 22
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes of one topic index (§6.1.3 precision compression)."""
+        return 2 if self.compressed else 4
+
+    @property
+    def phi_bytes(self) -> int:
+        """Bytes of one φ entry."""
+        return 2 if self.compressed else 4
+
+
+@dataclass(frozen=True)
+class SamplingStats:
+    """Per-launch statistics the cost model and Fig 7 analysis need."""
+
+    num_tokens: int
+    kd_sum: int            # Σ_tokens K_d  (θ entries touched)
+    p1_draws: int          # tokens resolved in the sparse branch
+    num_word_segments: int # (block, word) assignments after splitting
+    num_blocks: int
+
+    @property
+    def mean_kd(self) -> float:
+        return self.kd_sum / self.num_tokens if self.num_tokens else 0.0
+
+    @property
+    def p1_fraction(self) -> float:
+        return self.p1_draws / self.num_tokens if self.num_tokens else 0.0
+
+
+# ----------------------------------------------------------------------
+# Launch plan (§6.1.2)
+# ----------------------------------------------------------------------
+
+def sampling_launch_plan(word_indptr: np.ndarray) -> tuple[int, int]:
+    """Blocks and word segments for a chunk.
+
+    Each block samples tokens of a single word; a word with more than
+    ``BLOCK_TOKEN_CAPACITY`` tokens is split across several blocks
+    (assigned the smallest block ids so the GPU scheduler issues them
+    first — the paper's long-tail avoidance). Returns
+    ``(num_blocks, num_word_segments)``; with one word per block they
+    coincide.
+    """
+    counts = np.diff(word_indptr)
+    counts = counts[counts > 0]
+    if counts.size == 0:
+        return 1, 1
+    segments = int(np.ceil(counts / BLOCK_TOKEN_CAPACITY).sum())
+    return segments, segments
+
+
+# ----------------------------------------------------------------------
+# Functional kernel bodies
+# ----------------------------------------------------------------------
+
+def gibbs_sample_chunk(
+    chunk: TokenChunk,
+    topics: np.ndarray,
+    theta: SparseTheta,
+    phi: np.ndarray,
+    n_k: np.ndarray,
+    hyper: LDAHyperParams,
+    rng: np.random.Generator,
+    config: KernelConfig | None = None,
+) -> tuple[np.ndarray, SamplingStats]:
+    """Sample a new topic for every token of *chunk* (Alg 2, vectorized).
+
+    Reads the iteration-start model ``(theta, phi, n_k)`` and returns
+    ``(new_topics, stats)``; does **not** mutate its inputs. The returned
+    topics use the same dtype as the input ``topics``.
+
+    The vectorization reproduces the S/Q control flow exactly:
+
+    1. p*(k, v) for all words (the shared sub-expression, staged per
+       word-block in the real kernel);
+    2. per-token S by gathering the document's θ row against p*'s word
+       column (the "compute S & build p₁ tree" step);
+    3. one uniform draw per token over mass S + Q;
+    4. sparse-branch tokens search their θ-row prefix sums (p₁ tree),
+       dense-branch tokens search their word's p₂ prefix sums (the
+       shared p₂ tree).
+    """
+    config = config or KernelConfig()
+    K, V = hyper.num_topics, chunk.num_words
+    alpha, beta = hyper.alpha, hyper.beta
+    T = chunk.num_tokens
+    if T == 0:
+        return topics.copy(), SamplingStats(0, 0, 0, 1, 1)
+
+    # --- shared sub-expression p*(k, v) and dense-branch masses -------
+    pstar = (phi.astype(np.float64) + beta) / (
+        n_k.astype(np.float64) + beta * V
+    )[:, None]
+    q_col = alpha * pstar.sum(axis=0)          # Q per word
+    q_cum = alpha * np.cumsum(pstar, axis=0)   # p2 prefix sums per word
+
+    token_word = chunk.token_word_expanded().astype(np.int64)
+    token_doc = chunk.token_doc.astype(np.int64)
+    t_ip, t_idx, t_cnt = theta.indptr, theta.indices.astype(np.int64), theta.data
+
+    new_topics = np.empty(T, dtype=np.int64)
+    u_all = rng.random(T)
+
+    kd_sum = 0
+    p1_draws = 0
+
+    # Slab over tokens so the (token × K_d) expansion stays bounded.
+    row_len_all = t_ip[token_doc + 1] - t_ip[token_doc]
+    slab_edges = _slab_edges(row_len_all, config.token_slab)
+    for lo, hi in slab_edges:
+        docs = token_doc[lo:hi]
+        words = token_word[lo:hi]
+        L = row_len_all[lo:hi]
+        n = hi - lo
+
+        # Flat expansion of each token's θ row.
+        total = int(L.sum())
+        kd_sum += total
+        row_start = np.concatenate(([0], np.cumsum(L)))  # per-token offsets
+        base = np.repeat(t_ip[docs], L)
+        within = np.arange(total, dtype=np.int64) - np.repeat(row_start[:-1], L)
+        flat_pos = base + within
+        k_flat = t_idx[flat_pos]
+        vals = t_cnt[flat_pos] * pstar[k_flat, np.repeat(words, L)]
+
+        # Masses and the branch draw.
+        cs = np.cumsum(vals)
+        seg_end = row_start[1:] - 1
+        S = cs[seg_end] - np.concatenate(([0.0], cs[seg_end[:-1]]))
+        Q = q_col[words]
+        target = u_all[lo:hi] * (S + Q)
+        sparse_mask = target < S
+        p1_draws += int(sparse_mask.sum())
+
+        # --- p₁ branch: search within the token's θ-row segment -------
+        if sparse_mask.any():
+            t_idx_local = np.nonzero(sparse_mask)[0]
+            seg_base = np.concatenate(([0.0], cs[seg_end[:-1]]))[t_idx_local]
+            # Global-cumsum trick: vals > 0 strictly, so the hit stays
+            # inside the token's own segment.
+            j = np.searchsorted(cs, seg_base + target[t_idx_local], side="right")
+            j = np.minimum(j, seg_end[t_idx_local])
+            j = np.maximum(j, row_start[:-1][t_idx_local])
+            new_topics[lo + t_idx_local] = k_flat[j]
+
+        # --- p₂ branch: search the word's dense prefix sums -----------
+        dense_mask = ~sparse_mask
+        if dense_mask.any():
+            d_idx_local = np.nonzero(dense_mask)[0]
+            resid = target[d_idx_local] - S[d_idx_local]
+            cols = words[d_idx_local]
+            # Column-gather in sub-slabs: (K, m) blocks.
+            step = max(1, (1 << 22) // max(K, 1))
+            for s in range(0, d_idx_local.size, step):
+                sel = slice(s, min(s + step, d_idx_local.size))
+                block = q_cum[:, cols[sel]]             # (K, m)
+                hit = (block > resid[sel][None, :]).argmax(axis=0)
+                # Round-off guard: if no entry exceeded, take the top.
+                none = block[-1, np.arange(block.shape[1])] <= resid[sel]
+                hit[none] = K - 1
+                new_topics[lo + d_idx_local[sel]] = hit
+
+    out = new_topics.astype(topics.dtype)
+    num_blocks, num_segments = sampling_launch_plan(chunk.word_indptr)
+    stats = SamplingStats(
+        num_tokens=T,
+        kd_sum=int(kd_sum),
+        p1_draws=int(p1_draws),
+        num_word_segments=num_segments,
+        num_blocks=num_blocks,
+    )
+    return out, stats
+
+
+def _slab_edges(row_len: np.ndarray, slab: int) -> list[tuple[int, int]]:
+    """Token ranges whose flat expansions each stay under *slab* entries
+    (a single over-*slab* token still gets its own range)."""
+    T = row_len.size
+    csum = np.cumsum(row_len)
+    edges: list[tuple[int, int]] = []
+    lo = 0
+    mass_before = 0
+    while lo < T:
+        hi = int(np.searchsorted(csum, mass_before + slab, side="right"))
+        hi = max(hi, lo + 1)
+        edges.append((lo, hi))
+        mass_before = int(csum[hi - 1])
+        lo = hi
+    return edges
+
+
+def recount_theta(
+    chunk: TokenChunk,
+    topics: np.ndarray,
+    num_topics: int,
+    compressed: bool = True,
+) -> SparseTheta:
+    """Functional body of the θ-update kernel (§6.2).
+
+    Dense-scatter per document then CSR compaction — realized as one
+    vectorized recount (bit-identical to the scatter+prefix-sum result).
+    """
+    return SparseTheta.from_assignments(chunk, topics, num_topics, compressed)
+
+
+def accumulate_phi(
+    chunk: TokenChunk,
+    topics: np.ndarray,
+    num_topics: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Functional body of the φ-update kernel (§6.2): the chunk's
+    *partial* topic–word counts (atomic adds over word-sorted tokens).
+
+    Writes into *out* (zeroed first) if given; else allocates.
+    """
+    K, V = num_topics, chunk.num_words
+    if out is None:
+        out = np.zeros((K, V), dtype=np.int32)
+    else:
+        if out.shape != (K, V):
+            raise ValueError("out has wrong shape")
+        out[...] = 0
+    words = chunk.token_word_expanded().astype(np.int64)
+    np.add.at(out, (topics.astype(np.int64), words), 1)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Cost accounting
+# ----------------------------------------------------------------------
+
+def sampling_cost(
+    stats: SamplingStats,
+    hyper: LDAHyperParams,
+    num_words: int,
+    config: KernelConfig,
+) -> KernelCost:
+    """Global traffic / flops of one sampling launch.
+
+    Derived from the paper's Table 1 per-step formulas, with the §6
+    optimizations expressed as traffic changes:
+
+    - *reuse_pstar* + *share_p2_tree*: the φ column and n_k are staged
+      once per (block, word) segment; the p₂ tree is built in shared
+      memory from them — so their per-token cost is amortized by the
+      segment's token count.
+    - without sharing, every sampler (warp) stages privately: the
+      staging term multiplies by ``SAMPLERS_PER_BLOCK``.
+    - without reuse, each token additionally re-reads the φ entries for
+      its θ-row topics (K_d values) from global/L1.
+    - a dense (non-sparse) sampler reads the full K-length conditional
+      per token instead of the K_d-length sparse part.
+    """
+    K = hyper.num_topics
+    T, kd = stats.num_tokens, stats.kd_sum
+    idx_b, phi_b = config.index_bytes, config.phi_bytes
+    cnt_b = 4           # θ counts are int32
+    nk_b = 4            # n_k staged as 32-bit on device
+
+    read = 0.0
+    written = 0.0
+    flops = 0.0
+
+    # p* staging: φ column + n_k per (block, word) segment.
+    staging_factor = 1 if config.share_p2_tree else SAMPLERS_PER_BLOCK
+    read += stats.num_word_segments * K * (phi_b + nk_b) * staging_factor
+    flops += stats.num_word_segments * 3.0 * K   # p* div+add, ×α, tree sums
+
+    if config.sparse_sampler:
+        # Compute S + build p₁ tree: the warp reads the θ row (idx +
+        # count) in CACHELINE-granular transactions.
+        mean_kd = kd / T if T else 0.0
+        row_bytes = np.ceil(mean_kd * (idx_b + cnt_b) / CACHELINE_BYTES)
+        read += T * row_bytes * CACHELINE_BYTES
+        flops += 2.0 * kd            # multiply-accumulate per entry
+        flops += 2.0 * kd            # p₁ tree construction
+        if not config.reuse_pstar:
+            read += kd * phi_b       # re-read φ for the row's topics
+            flops += 2.0 * kd
+        # Tree search: log_R levels over shared data; negligible global.
+        flops += T * 2.0 * config.tree_fanout
+    else:
+        # Dense O(K) conditional per token.
+        read += T * K * (phi_b + cnt_b)
+        flops += T * 4.0 * K
+
+    # Per-token fixed traffic: doc id, old topic read, new topic write,
+    # plus the K_d-independent overhead (RNG, p₂ leaves, padding).
+    read += T * (4 + idx_b + TOKEN_OVERHEAD_BYTES)
+    written += T * idx_b
+    flops += T * 16.0                # RNG + branch arithmetic
+
+    shared = K * 4                       # staged p* column (float32)
+    shared += (K // config.tree_fanout + 2) * 4   # shared p₂ tree internals
+    shared = min(shared, 96 * 1024)      # the kernel tiles K if larger
+
+    return KernelCost(
+        bytes_read=read,
+        bytes_written=written,
+        flops=flops,
+        num_blocks=stats.num_blocks,
+        shared_mem_per_block=int(shared),
+    )
+
+
+def update_theta_cost(
+    num_tokens: int,
+    num_docs: int,
+    theta_nnz: int,
+    hyper: LDAHyperParams,
+    config: KernelConfig,
+) -> KernelCost:
+    """Traffic of the θ-update kernel (§6.2).
+
+    The paper's two-step algorithm: (1) per document, scatter the
+    document's tokens (found via the doc–word map) into a dense K-length
+    row in global memory with atomic adds; (2) compact dense → CSR with
+    a prefix sum. Step 1 costs a zeroing write + the per-token map/topic
+    reads and atomics; step 2 re-reads the dense row and writes the CSR.
+    """
+    T = num_tokens
+    D = num_docs
+    K = hyper.num_topics
+    idx_b = config.index_bytes
+    dense = float(D) * K * 4          # the per-document dense rows
+    # Topic reads go through the doc–word map — an uncoalesced gather
+    # that costs a half-cacheline transaction per token.
+    gather = CACHELINE_BYTES / 2
+    read = T * (8 + idx_b + gather) + dense  # map+topic reads, scan
+    written = dense + theta_nnz * (idx_b + 4) + (D + 1) * 8
+    flops = T * 2.0 + dense / 4.0 + theta_nnz * 2.0
+    return KernelCost(
+        bytes_read=read,
+        bytes_written=written,
+        flops=flops,
+        atomic_ops=T,
+        atomic_locality=0.8,   # per-document grouping gives decent locality
+        num_blocks=max(1, D // SAMPLERS_PER_BLOCK + 1),
+    )
+
+
+def update_phi_cost(
+    num_tokens: int,
+    num_words: int,
+    hyper: LDAHyperParams,
+    config: KernelConfig,
+) -> KernelCost:
+    """Traffic of the φ-update kernel (§6.2).
+
+    Zero the partial replica, then one global atomic add per token.
+    Tokens are word-sorted, so the atomics hit consecutive φ entries —
+    the high-locality case the paper measures as fast.
+    """
+    T = num_tokens
+    K, V = hyper.num_topics, num_words
+    phi_b = config.phi_bytes
+    written = float(K) * V * phi_b       # zero the replica
+    read = T * (config.index_bytes + 4)  # topic + word stream
+    # Atomic adds write transaction-granular lines; word-sorting keeps
+    # them mostly within a line but each (k, v) hit still costs one.
+    written += T * (CACHELINE_BYTES / 4)
+    return KernelCost(
+        bytes_read=read,
+        bytes_written=written,
+        flops=T * 1.0,
+        atomic_ops=T,
+        atomic_locality=0.95,
+        num_blocks=max(1, T // BLOCK_TOKEN_CAPACITY + 1),
+    )
+
+
+def phi_reduce_cost(num_topics: int, num_words: int, config: KernelConfig) -> KernelCost:
+    """Traffic of adding one φ replica into another (sync step, §5.2)."""
+    n = float(num_topics) * num_words
+    phi_b = config.phi_bytes
+    return KernelCost(
+        bytes_read=2 * n * phi_b,
+        bytes_written=n * phi_b,
+        flops=n,
+        num_blocks=max(1, int(n) // (BLOCK_TOKEN_CAPACITY * 32) + 1),
+    )

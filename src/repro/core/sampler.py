@@ -1,0 +1,115 @@
+"""Sparsity-aware CGS sampler math (paper Eq 1, 6–8 and Alg 2).
+
+The collapsed Gibbs sampler reassigns a token of word *v* in document
+*d* from the multinomial
+
+.. math::
+
+    p(k) \\propto (\\theta_{d,k} + \\alpha)\\,
+                 \\frac{\\phi_{k,v} + \\beta}{n_k + \\beta V}
+
+which decomposes (Eq 6/8) around the shared sub-expression
+
+.. math::
+
+    p^*(k) = \\frac{\\phi_{k,v} + \\beta}{n_k + \\beta V},\\qquad
+    p_1(k) = \\theta_{d,k}\\,p^*(k),\\qquad p_2(k) = \\alpha\\,p^*(k).
+
+p₁ is sparse (K_d nonzeros, K_d ≤ DocLen_d), p₂ is dense but shared by
+every token of the same word. With masses S = Σp₁ and Q = Σp₂, a draw
+``u ~ U(0, S+Q)`` picks the sparse branch when ``u < S`` — so the
+expensive dense work amortizes across a word's tokens (what the shared
+p₂ index tree buys in the kernel, §6.1.2).
+
+This module is the *scalar/pure* form used by the reference sampler and
+by tests; the vectorized chunk-level form lives in
+:mod:`repro.core.kernels`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index_tree import IndexTree
+
+__all__ = [
+    "compute_pstar",
+    "dense_conditional",
+    "decomposed_masses",
+    "sample_token_sq",
+    "sample_token_dense",
+]
+
+
+def compute_pstar(
+    phi_col: np.ndarray, n_k: np.ndarray, beta: float, num_words: int
+) -> np.ndarray:
+    """The shared sub-expression p*(k) for one word column (Eq 8).
+
+    Parameters
+    ----------
+    phi_col: ``[K]`` counts φ_{·,v}.
+    n_k: ``[K]`` topic totals.
+    beta / num_words: the smoothing hyperparameter and vocabulary size V.
+    """
+    return (phi_col + beta) / (n_k + beta * num_words)
+
+
+def dense_conditional(
+    theta_row_dense: np.ndarray, pstar: np.ndarray, alpha: float
+) -> np.ndarray:
+    """The full unnormalized conditional p(k) (Eq 1) for one token."""
+    return (theta_row_dense + alpha) * pstar
+
+
+def decomposed_masses(
+    theta_topics: np.ndarray,
+    theta_counts: np.ndarray,
+    pstar: np.ndarray,
+    alpha: float,
+) -> tuple[float, float, np.ndarray]:
+    """Masses (S, Q) and the sparse vector p₁ values (Eq 6–7).
+
+    ``theta_topics``/``theta_counts`` are the CSR row of document *d*.
+    Returns ``(S, Q, p1_vals)`` where ``p1_vals[i]`` corresponds to
+    ``theta_topics[i]``.
+    """
+    p1_vals = theta_counts * pstar[theta_topics.astype(np.int64)]
+    S = float(p1_vals.sum())
+    Q = float(alpha * pstar.sum())
+    return S, Q, p1_vals
+
+
+def sample_token_sq(
+    theta_topics: np.ndarray,
+    theta_counts: np.ndarray,
+    pstar: np.ndarray,
+    alpha: float,
+    u: float,
+    fanout: int = 32,
+) -> int:
+    """One sparsity-aware draw (Alg 2), given a uniform ``u ∈ [0, 1)``.
+
+    Builds the private p₁ tree and the (conceptually shared) p₂ tree and
+    searches the branch selected by ``u`` — the exact control flow of the
+    paper's sampler, in scalar form.
+    """
+    if not 0.0 <= u < 1.0:
+        raise ValueError("u must lie in [0, 1)")
+    S, Q, p1_vals = decomposed_masses(theta_topics, theta_counts, pstar, alpha)
+    target = u * (S + Q)
+    if target < S and p1_vals.size:
+        tree = IndexTree(p1_vals, fanout=fanout)
+        j = tree.sample(target)
+        return int(theta_topics[j])
+    tree = IndexTree(alpha * pstar, fanout=fanout)
+    return int(tree.sample(min(target - S, Q * (1.0 - 1e-12))))
+
+
+def sample_token_dense(
+    theta_row_dense: np.ndarray, pstar: np.ndarray, alpha: float, u: float
+) -> int:
+    """One O(K) dense draw from Eq 1 (the unoptimized baseline sampler)."""
+    p = dense_conditional(theta_row_dense, pstar, alpha)
+    cdf = np.cumsum(p)
+    return int(np.searchsorted(cdf, u * cdf[-1], side="right").clip(0, p.size - 1))

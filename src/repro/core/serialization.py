@@ -1,0 +1,110 @@
+"""Model checkpointing: save/load trained LDA models.
+
+A trained model is (φ, θ, hyperparameters, metadata). Checkpoints are
+single ``.npz`` files — the library equivalent of the paper's
+"CPU collects the trained model from all GPUs" final step (Alg 1,
+lines 17–20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import LDAHyperParams, SparseTheta
+from repro.corpus.corpus import Vocabulary
+
+__all__ = ["ModelCheckpoint", "save_model", "load_model"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelCheckpoint:
+    """A loaded model checkpoint."""
+
+    phi: np.ndarray
+    theta: SparseTheta
+    hyper: LDAHyperParams
+    corpus_name: str
+    vocabulary: "Vocabulary | None" = None
+
+    @property
+    def num_topics(self) -> int:
+        return self.hyper.num_topics
+
+    @property
+    def num_words(self) -> int:
+        return int(self.phi.shape[1])
+
+
+def save_model(result, path: str | Path, vocabulary=None) -> None:
+    """Persist a :class:`~repro.core.culda.TrainResult` (or anything with
+    ``phi``/``theta``/``hyper``/``corpus_name``) to *path* (.npz).
+
+    Pass the corpus ``vocabulary`` to store human-readable words with
+    the model (so ``load_model(...).vocabulary.word_of(id)`` works).
+    """
+    path = Path(path)
+    theta = result.theta
+    fields = dict(
+        format_version=np.int64(FORMAT_VERSION),
+        phi=result.phi,
+        theta_indptr=theta.indptr,
+        theta_indices=theta.indices,
+        theta_data=theta.data,
+        num_topics=np.int64(result.hyper.num_topics),
+        alpha=np.float64(result.hyper.alpha),
+        beta=np.float64(result.hyper.beta),
+        corpus_name=np.array(result.corpus_name),
+    )
+    if vocabulary is not None:
+        if len(vocabulary) != result.phi.shape[1]:
+            raise ValueError("vocabulary size does not match phi columns")
+        fields["vocabulary"] = np.array(list(vocabulary), dtype=np.str_)
+    np.savez_compressed(path, **fields)
+
+
+def load_model(path: str | Path) -> ModelCheckpoint:
+    """Load a checkpoint written by :func:`save_model`.
+
+    Raises
+    ------
+    ValueError
+        On missing fields or an unsupported format version.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["format_version"])
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint version {version} "
+                    f"(expected {FORMAT_VERSION})"
+                )
+            hyper = LDAHyperParams(
+                num_topics=int(data["num_topics"]),
+                alpha=float(data["alpha"]),
+                beta=float(data["beta"]),
+            )
+            theta = SparseTheta(
+                data["theta_indptr"],
+                data["theta_indices"],
+                data["theta_data"],
+                hyper.num_topics,
+            )
+            vocab = None
+            if "vocabulary" in data.files:
+                vocab = Vocabulary(str(w) for w in data["vocabulary"])
+                vocab.freeze()
+            return ModelCheckpoint(
+                phi=np.asarray(data["phi"]),
+                theta=theta,
+                hyper=hyper,
+                corpus_name=str(data["corpus_name"]),
+                vocabulary=vocab,
+            )
+        except KeyError as exc:
+            raise ValueError(f"malformed checkpoint {path}: missing {exc}") from exc

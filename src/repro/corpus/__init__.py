@@ -1,0 +1,50 @@
+"""Corpus substrate: documents, vocabulary, token stores, and generators.
+
+This subpackage implements the data layer that CuLDA_CGS samples over:
+
+- :mod:`repro.corpus.corpus` — the :class:`Corpus` container (flat token
+  arrays + document index), the word-first sorted :class:`TokenChunk`
+  layout used by the GPU sampling kernel, and the document–word map built
+  during CPU-side preprocessing (paper §6.2).
+- :mod:`repro.corpus.synthetic` — synthetic corpus generators (LDA
+  generative process and Zipf models) that produce scaled-down "twins" of
+  the paper's NYTimes / PubMed datasets.
+- :mod:`repro.corpus.datasets` — the full-scale dataset statistics from
+  Table 3 of the paper, used by the analytic performance model.
+- :mod:`repro.corpus.uci` — reader/writer for the UCI bag-of-words format
+  the real NYTimes/PubMed files ship in.
+- :mod:`repro.corpus.stats` — corpus statistics (doc-length and word
+  frequency distributions, sparsity estimators).
+"""
+
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.corpus import Corpus, TokenChunk, Vocabulary
+from repro.corpus.datasets import DatasetStats, NYTIMES, PUBMED
+from repro.corpus.preprocess import filter_short_documents, prune_vocabulary
+from repro.corpus.split import split_document_completion, split_documents
+from repro.corpus.synthetic import (
+    SyntheticSpec,
+    generate_lda_corpus,
+    generate_zipf_corpus,
+    nytimes_like,
+    pubmed_like,
+)
+
+__all__ = [
+    "CorpusBuilder",
+    "Corpus",
+    "TokenChunk",
+    "Vocabulary",
+    "DatasetStats",
+    "NYTIMES",
+    "PUBMED",
+    "prune_vocabulary",
+    "split_documents",
+    "split_document_completion",
+    "filter_short_documents",
+    "SyntheticSpec",
+    "generate_lda_corpus",
+    "generate_zipf_corpus",
+    "nytimes_like",
+    "pubmed_like",
+]

@@ -1,0 +1,112 @@
+"""Incremental corpus construction from token streams.
+
+Real deployments build corpora from document streams (crawls, feeds)
+rather than materialized lists. :class:`CorpusBuilder` accumulates
+documents one at a time — interning words, growing flat buffers
+geometrically — and finalizes into the library's :class:`Corpus` in one
+O(T) pass. Useful both as API surface and as the substrate for
+streaming-LDA style workloads (the paper cites Streaming-LDA [4]).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus, Vocabulary
+
+__all__ = ["CorpusBuilder"]
+
+
+class CorpusBuilder:
+    """Accumulates documents into a corpus.
+
+    Two input modes (mutually exclusive per builder):
+
+    - :meth:`add_document` with *strings* — words are interned into a
+      growing vocabulary;
+    - :meth:`add_document_ids` with *integer ids* — for pre-tokenized
+      pipelines (``num_words`` inferred or given at finalize).
+    """
+
+    def __init__(self, name: str = "corpus"):
+        self.name = name
+        self._vocab = Vocabulary()
+        self._tokens = np.empty(1024, dtype=np.int32)
+        self._num_tokens = 0
+        self._doc_ends: list[int] = []
+        self._used_ids = False
+        self._max_id = -1
+
+    # ------------------------------------------------------------------
+    def _reserve(self, n: int) -> None:
+        needed = self._num_tokens + n
+        if needed > self._tokens.size:
+            new_size = max(needed, self._tokens.size * 2)
+            grown = np.empty(new_size, dtype=np.int32)
+            grown[: self._num_tokens] = self._tokens[: self._num_tokens]
+            self._tokens = grown
+
+    def add_document(self, words: Iterable[str]) -> int:
+        """Append a document of word strings; returns its document id."""
+        if self._used_ids:
+            raise ValueError("cannot mix string documents into an id-mode builder")
+        ids = [self._vocab.add(w) for w in words]
+        return self._append(ids)
+
+    def add_document_ids(self, ids: Iterable[int]) -> int:
+        """Append a document of integer word ids; returns its doc id."""
+        if len(self._vocab):
+            raise ValueError("cannot mix id documents into a string-mode builder")
+        self._used_ids = True
+        return self._append(ids)
+
+    def _append(self, ids: Iterable[int]) -> int:
+        arr = np.fromiter((int(i) for i in ids), dtype=np.int32)
+        if arr.size and arr.min() < 0:
+            raise ValueError("word ids must be non-negative")
+        self._reserve(arr.size)
+        self._tokens[self._num_tokens : self._num_tokens + arr.size] = arr
+        self._num_tokens += arr.size
+        self._doc_ends.append(self._num_tokens)
+        if arr.size:
+            self._max_id = max(self._max_id, int(arr.max()))
+        return len(self._doc_ends) - 1
+
+    # ------------------------------------------------------------------
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_ends)
+
+    @property
+    def num_tokens(self) -> int:
+        return self._num_tokens
+
+    def build(self, num_words: int | None = None) -> Corpus:
+        """Finalize into a :class:`Corpus`.
+
+        ``num_words`` defaults to the interned vocabulary size (string
+        mode) or ``max_id + 1`` (id mode); an explicit value must cover
+        every seen id.
+        """
+        if self.num_documents == 0:
+            raise ValueError("no documents added")
+        inferred = len(self._vocab) if len(self._vocab) else self._max_id + 1
+        V = num_words if num_words is not None else max(inferred, 1)
+        if V <= self._max_id:
+            raise ValueError(
+                f"num_words={V} does not cover max word id {self._max_id}"
+            )
+        if len(self._vocab) and V < len(self._vocab):
+            raise ValueError("num_words smaller than interned vocabulary")
+        indptr = np.zeros(self.num_documents + 1, dtype=np.int64)
+        indptr[1:] = self._doc_ends
+        vocab = self._vocab.freeze() if len(self._vocab) == V else None
+        return Corpus(
+            self._tokens[: self._num_tokens].copy(),
+            indptr,
+            V,
+            vocab,
+            name=self.name,
+        )

@@ -1,0 +1,87 @@
+"""Full-scale dataset statistics from the paper (Table 3).
+
+The real NYTimes and PubMed corpora (UCI bag-of-words releases) are not
+available offline, and at 99.5M / 737.9M tokens they would not be
+tractable in pure Python anyway. The *performance* experiments of the
+paper (Tables 4–5, Figs 7 and 9) depend only on aggregate corpus shape —
+token count T, document count D, vocabulary size V, and how θ-row
+sparsity evolves over iterations — so we carry those at full scale in
+:class:`DatasetStats` objects and evaluate the simulator's cost model on
+them analytically (see :mod:`repro.perfmodel`).
+
+The *statistical* experiments (Fig 8 convergence) run real Gibbs sampling
+on scaled-down synthetic twins built by :mod:`repro.corpus.synthetic`
+to match each dataset's shape (average document length, Zipf exponent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DatasetStats", "NYTIMES", "PUBMED"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Aggregate statistics of a corpus, as in Table 3 of the paper.
+
+    Attributes
+    ----------
+    name: dataset label.
+    num_tokens: total token count *T*.
+    num_docs: document count *D*.
+    num_words: vocabulary size *V*.
+    zipf_exponent: fitted exponent of the word-frequency power law
+        (used only by the synthetic twin generator; ~1.0–1.1 for both
+        UCI corpora).
+    """
+
+    name: str
+    num_tokens: int
+    num_docs: int
+    num_words: int
+    zipf_exponent: float = 1.05
+
+    @property
+    def avg_doc_length(self) -> float:
+        """Mean tokens per document (paper: NYTimes 332, PubMed 92)."""
+        return self.num_tokens / self.num_docs
+
+    def scaled(self, factor: float, name: str | None = None) -> "DatasetStats":
+        """Stats of a corpus shrunk by *factor* in D and T (V shrinks with
+        the square root, mimicking Heaps' law vocabulary growth)."""
+        if not 0 < factor <= 1:
+            raise ValueError("factor must be in (0, 1]")
+        return DatasetStats(
+            name=name or f"{self.name}-x{factor:g}",
+            num_tokens=max(1, int(self.num_tokens * factor)),
+            num_docs=max(1, int(self.num_docs * factor)),
+            num_words=max(2, int(self.num_words * factor**0.5)),
+            zipf_exponent=self.zipf_exponent,
+        )
+
+    def table_row(self) -> str:
+        """One formatted row of the paper's Table 3."""
+        return (
+            f"{self.name:<10s} {self.num_tokens:>13,d} {self.num_docs:>12,d} "
+            f"{self.num_words:>9,d}"
+        )
+
+
+#: Table 3, row 1: the UCI NYTimes bag-of-words corpus.
+NYTIMES = DatasetStats(
+    name="NYTimes",
+    num_tokens=99_542_125,
+    num_docs=299_752,
+    num_words=101_636,
+    zipf_exponent=1.05,
+)
+
+#: Table 3, row 2: the UCI PubMed abstracts corpus.
+PUBMED = DatasetStats(
+    name="PubMed",
+    num_tokens=737_869_083,
+    num_docs=8_200_000,
+    num_words=141_043,
+    zipf_exponent=1.10,
+)

@@ -1,0 +1,104 @@
+"""Corpus preprocessing: vocabulary pruning and document filtering.
+
+The UCI corpora the paper uses were already pruned by their publishers
+(stopwords removed, words occurring in <10 documents dropped). A
+production library needs the same tools for raw corpora:
+
+- :func:`prune_vocabulary` — drop words by document frequency (too
+  rare or too common) and/or an explicit stopword list; word ids are
+  re-densified.
+- :func:`filter_short_documents` — drop documents below a minimum
+  length (short documents carry little topic signal and, per §6.1.1,
+  dominate the p₂ branch).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus, Vocabulary
+
+__all__ = ["prune_vocabulary", "filter_short_documents"]
+
+
+def prune_vocabulary(
+    corpus: Corpus,
+    min_doc_frequency: int = 1,
+    max_doc_fraction: float = 1.0,
+    stopwords: Iterable[str] | Iterable[int] = (),
+) -> Corpus:
+    """Remove words from *corpus* and re-densify word ids.
+
+    Parameters
+    ----------
+    min_doc_frequency: keep words appearing in at least this many
+        distinct documents.
+    max_doc_fraction: drop words appearing in more than this fraction
+        of documents (corpus-specific stopwords).
+    stopwords: words to drop — strings (requires a vocabulary) or ids.
+
+    Returns
+    -------
+    A new corpus over the surviving vocabulary (documents may shrink;
+    empty documents are kept so document ids stay stable).
+    """
+    if min_doc_frequency < 1:
+        raise ValueError("min_doc_frequency must be >= 1")
+    if not 0 < max_doc_fraction <= 1.0:
+        raise ValueError("max_doc_fraction must be in (0, 1]")
+
+    # Document frequency: distinct (doc, word) pairs.
+    key = corpus.token_doc.astype(np.int64) * corpus.num_words + corpus.token_word
+    uniq = np.unique(key)
+    df = np.bincount((uniq % corpus.num_words).astype(np.int64),
+                     minlength=corpus.num_words)
+
+    keep = (df >= min_doc_frequency) & (
+        df <= max_doc_fraction * corpus.num_docs
+    )
+    stop_ids: list[int] = []
+    for s in stopwords:
+        if isinstance(s, str):
+            if corpus.vocabulary is None:
+                raise ValueError("string stopwords require a vocabulary")
+            if s in corpus.vocabulary:
+                stop_ids.append(corpus.vocabulary.id_of(s))
+        else:
+            stop_ids.append(int(s))
+    if stop_ids:
+        keep[np.asarray(stop_ids, dtype=np.int64)] = False
+
+    new_id = np.full(corpus.num_words, -1, dtype=np.int64)
+    survivors = np.nonzero(keep)[0]
+    new_id[survivors] = np.arange(survivors.size)
+
+    token_mask = keep[corpus.token_word]
+    new_words = new_id[corpus.token_word[token_mask]].astype(np.int32)
+    new_docs = corpus.token_doc[token_mask].astype(np.int64)
+    lengths = np.bincount(new_docs, minlength=corpus.num_docs)
+    indptr = np.zeros(corpus.num_docs + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+
+    vocab = None
+    if corpus.vocabulary is not None:
+        vocab = Vocabulary(
+            corpus.vocabulary.word_of(int(w)) for w in survivors
+        ).freeze()
+    return Corpus(new_words, indptr, int(survivors.size), vocab,
+                  name=f"{corpus.name}-pruned")
+
+
+def filter_short_documents(corpus: Corpus, min_length: int = 1) -> Corpus:
+    """Drop documents shorter than *min_length* tokens (renumbers docs)."""
+    if min_length < 0:
+        raise ValueError("min_length must be >= 0")
+    lengths = corpus.doc_lengths
+    keep = np.nonzero(lengths >= min_length)[0]
+    token_mask = np.isin(corpus.token_doc, keep)
+    new_words = corpus.token_word[token_mask]
+    indptr = np.zeros(keep.size + 1, dtype=np.int64)
+    np.cumsum(lengths[keep], out=indptr[1:])
+    return Corpus(new_words, indptr, corpus.num_words, corpus.vocabulary,
+                  name=f"{corpus.name}-filtered")

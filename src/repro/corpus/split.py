@@ -1,0 +1,88 @@
+"""Train/evaluation splits for topic-model experiments.
+
+Two standard protocols:
+
+- :func:`split_documents` — document hold-out: whole documents go to
+  the test side; evaluate by fold-in (what ``examples/topic_count_sweep``
+  does).
+- :func:`split_document_completion` — within-document split: each test
+  document's tokens are divided into an *observed* half (used to infer
+  θ) and a *held-out* half (scored). The "document completion" protocol
+  avoids fold-in's optimistic bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+
+__all__ = ["split_documents", "split_document_completion"]
+
+
+def split_documents(
+    corpus: Corpus, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[Corpus, Corpus]:
+    """Random document hold-out split → ``(train, test)``.
+
+    Documents are shuffled, so the split is unbiased even if the corpus
+    is ordered (by date, by source, …).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    D = corpus.num_docs
+    n_test = max(1, int(round(D * test_fraction)))
+    if n_test >= D:
+        raise ValueError("split leaves no training documents")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(D)
+    test_ids = np.sort(order[:n_test])
+    train_ids = np.sort(order[n_test:])
+
+    def take(ids: np.ndarray, name: str) -> Corpus:
+        lengths = corpus.doc_lengths[ids]
+        indptr = np.zeros(ids.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        tokens = np.concatenate(
+            [corpus.document(int(d)) for d in ids]
+        ) if ids.size else np.empty(0, dtype=np.int32)
+        return Corpus(tokens, indptr, corpus.num_words, corpus.vocabulary,
+                      name=f"{corpus.name}-{name}")
+
+    return take(train_ids, "train"), take(test_ids, "test")
+
+
+def split_document_completion(
+    corpus: Corpus, observed_fraction: float = 0.5, seed: int = 0
+) -> tuple[Corpus, Corpus]:
+    """Within-document split → ``(observed, heldout)``.
+
+    Both sides have the same documents (same ids, same count); each
+    document's tokens are randomly partitioned. Documents with a single
+    token put it on the observed side.
+    """
+    if not 0.0 < observed_fraction < 1.0:
+        raise ValueError("observed_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    obs_docs: list[np.ndarray] = []
+    held_docs: list[np.ndarray] = []
+    for d in range(corpus.num_docs):
+        tokens = corpus.document(d)
+        L = tokens.size
+        if L <= 1:
+            obs_docs.append(tokens.copy())
+            held_docs.append(np.empty(0, dtype=tokens.dtype))
+            continue
+        n_obs = max(1, int(round(L * observed_fraction)))
+        n_obs = min(n_obs, L - 1)  # keep at least one held-out token
+        order = rng.permutation(L)
+        obs_docs.append(tokens[np.sort(order[:n_obs])])
+        held_docs.append(tokens[np.sort(order[n_obs:])])
+
+    def build(docs: list[np.ndarray], name: str) -> Corpus:
+        return Corpus.from_documents(
+            [d.tolist() for d in docs], corpus.num_words, corpus.vocabulary,
+            name=f"{corpus.name}-{name}",
+        )
+
+    return build(obs_docs, "observed"), build(held_docs, "heldout")

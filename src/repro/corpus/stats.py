@@ -1,0 +1,91 @@
+"""Corpus statistics and shape estimators.
+
+These summarize a concrete :class:`~repro.corpus.corpus.Corpus` the same
+way the paper's Table 3 summarizes its datasets, plus the quantities the
+performance analysis needs: document-length distribution (drives θ-row
+sparsity, §6.1.1) and word-frequency skew (drives the sampling kernel's
+block assignment and the long-tail effect, §6.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.datasets import DatasetStats
+
+__all__ = ["CorpusSummary", "summarize", "fit_zipf_exponent", "expected_kd"]
+
+
+@dataclass(frozen=True)
+class CorpusSummary:
+    """Measured shape statistics of a corpus."""
+
+    name: str
+    num_tokens: int
+    num_docs: int
+    num_words: int
+    avg_doc_length: float
+    max_doc_length: int
+    zipf_exponent: float
+    max_word_frequency: int
+
+    def as_dataset_stats(self) -> DatasetStats:
+        """Convert to a :class:`DatasetStats` for the performance model."""
+        return DatasetStats(
+            name=self.name,
+            num_tokens=self.num_tokens,
+            num_docs=self.num_docs,
+            num_words=self.num_words,
+            zipf_exponent=self.zipf_exponent,
+        )
+
+
+def fit_zipf_exponent(word_freq: np.ndarray) -> float:
+    """Least-squares fit of the Zipf exponent on the rank–frequency curve.
+
+    Fits ``log f_r = c - s·log r`` over ranks with nonzero frequency and
+    returns *s*. Robust enough for synthetic-twin generation; not meant
+    as a rigorous power-law estimator.
+    """
+    freq = np.sort(word_freq[word_freq > 0])[::-1].astype(np.float64)
+    if freq.size < 2:
+        return 1.0
+    ranks = np.arange(1, freq.size + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(freq)
+    slope = np.polyfit(x, y, 1)[0]
+    return float(max(0.0, -slope))
+
+
+def expected_kd(doc_length: float, num_topics: int) -> float:
+    """Expected number of distinct topics in a document's θ row.
+
+    If a document of length L had topics assigned uniformly at random,
+    the expected count of distinct topics is ``K·(1 - (1 - 1/K)^L)`` —
+    the coupon-collector bound. Real (converged) LDA is sparser; the
+    sparsity model in :mod:`repro.analysis.sparsity` interpolates from
+    this upper bound at iteration 0 down to a converged floor.
+    """
+    K = float(num_topics)
+    if K <= 0:
+        raise ValueError("num_topics must be positive")
+    return K * (1.0 - (1.0 - 1.0 / K) ** doc_length)
+
+
+def summarize(corpus: Corpus) -> CorpusSummary:
+    """Compute a :class:`CorpusSummary` for *corpus*."""
+    lengths = corpus.doc_lengths
+    freq = corpus.word_frequencies()
+    return CorpusSummary(
+        name=corpus.name,
+        num_tokens=corpus.num_tokens,
+        num_docs=corpus.num_docs,
+        num_words=corpus.num_words,
+        avg_doc_length=float(lengths.mean()) if lengths.size else 0.0,
+        max_doc_length=int(lengths.max()) if lengths.size else 0,
+        zipf_exponent=fit_zipf_exponent(freq),
+        max_word_frequency=int(freq.max()) if freq.size else 0,
+    )

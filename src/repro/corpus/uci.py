@@ -1,0 +1,113 @@
+"""Reader/writer for the UCI bag-of-words format.
+
+The paper's datasets (NYTimes, PubMed) are distributed in this format:
+
+.. code-block:: text
+
+    D
+    V
+    NNZ
+    docId wordId count
+    ...
+
+with 1-based ``docId``/``wordId``. An optional companion ``vocab.*.txt``
+file lists one word per line (line *i* = word id *i*, 1-based).
+
+A user with the real UCI files can load them directly::
+
+    corpus = read_uci_bow("docword.nytimes.txt", vocab_path="vocab.nytimes.txt")
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus, Vocabulary
+
+__all__ = ["read_uci_bow", "write_uci_bow", "read_uci_vocab"]
+
+
+def _open_text(path: str | Path, mode: str = "rt"):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def read_uci_vocab(path: str | Path) -> Vocabulary:
+    """Load a UCI ``vocab.*.txt`` file (one word per line)."""
+    with _open_text(path) as fh:
+        vocab = Vocabulary(line.strip() for line in fh if line.strip())
+    return vocab.freeze()
+
+
+def read_uci_bow(
+    path: str | Path,
+    vocab_path: str | Path | None = None,
+    name: str | None = None,
+) -> Corpus:
+    """Load a UCI ``docword.*.txt`` (optionally ``.gz``) file.
+
+    Raises
+    ------
+    ValueError
+        On malformed headers, out-of-range ids, or an NNZ mismatch.
+    """
+    path = Path(path)
+    with _open_text(path) as fh:
+        header = [fh.readline() for _ in range(3)]
+        try:
+            D, V, nnz = (int(h.strip()) for h in header)
+        except ValueError as exc:
+            raise ValueError(f"malformed UCI header in {path}: {header!r}") from exc
+        data = np.loadtxt(fh, dtype=np.int64, ndmin=2)
+    if data.size == 0:
+        data = np.empty((0, 3), dtype=np.int64)
+    if data.shape[1] != 3:
+        raise ValueError(f"expected 3 columns (doc word count); got {data.shape[1]}")
+    if data.shape[0] != nnz:
+        raise ValueError(f"header says NNZ={nnz} but file has {data.shape[0]} rows")
+    docs, words, counts = data[:, 0] - 1, data[:, 1] - 1, data[:, 2]
+    if docs.size:
+        if docs.min() < 0 or docs.max() >= D:
+            raise ValueError("document id out of range")
+        if words.min() < 0 or words.max() >= V:
+            raise ValueError("word id out of range")
+    vocab = read_uci_vocab(vocab_path) if vocab_path is not None else None
+    if vocab is not None and len(vocab) != V:
+        raise ValueError(
+            f"vocabulary file has {len(vocab)} words but header says V={V}"
+        )
+    corpus = Corpus.from_bow(
+        docs, words, counts, num_docs=D, num_words=V, name=name or path.stem
+    )
+    if vocab is not None:
+        corpus = Corpus(
+            corpus.token_word, corpus.doc_indptr, V, vocab, corpus.name
+        )
+    return corpus
+
+
+def write_uci_bow(corpus: Corpus, path: str | Path) -> None:
+    """Write *corpus* in UCI bag-of-words format (1-based ids).
+
+    Tokens are aggregated back into (doc, word, count) triples sorted by
+    document then word, which is what the UCI files use.
+    """
+    token_doc = corpus.token_doc.astype(np.int64)
+    token_word = corpus.token_word.astype(np.int64)
+    # Aggregate duplicate (doc, word) pairs.
+    key = token_doc * corpus.num_words + token_word
+    uniq, counts = np.unique(key, return_counts=True)
+    docs = uniq // corpus.num_words
+    words = uniq % corpus.num_words
+    buf = io.StringIO()
+    buf.write(f"{corpus.num_docs}\n{corpus.num_words}\n{uniq.size}\n")
+    for d, w, c in zip(docs, words, counts):
+        buf.write(f"{d + 1} {w + 1} {c}\n")
+    with _open_text(path, "wt") as fh:
+        fh.write(buf.getvalue())

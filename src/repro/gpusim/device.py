@@ -1,0 +1,158 @@
+"""Device specifications and runtime devices.
+
+A :class:`DeviceSpec` is a pure description of a processor (GPU or CPU —
+the cost model does not care, only the numbers differ). A
+:class:`Device` is a live simulated processor: it owns an allocator, a
+default stream, and a reference to the machine clock/trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.gpusim.memory import DeviceAllocator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.platform import Machine
+    from repro.gpusim.stream import Stream
+
+__all__ = ["DeviceSpec", "Device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a processor.
+
+    The headline numbers (bandwidth, FLOPS, SM count, memory capacity)
+    come from the paper's Table 2 / §3; the efficiency and overhead knobs
+    are calibration parameters documented in EXPERIMENTS.md.
+
+    Attributes
+    ----------
+    name: human-readable label ("NVIDIA Titan X (Maxwell)").
+    arch: architecture tag ("maxwell", "pascal", "volta", "cpu").
+    num_sms: streaming multiprocessors (cores for a CPU).
+    peak_bandwidth_gbps: peak off-chip memory bandwidth in GB/s.
+    peak_gflops: peak single-precision GFLOP/s.
+    mem_capacity_bytes: device memory capacity (paper: 12–16 GB GPUs).
+    shared_mem_per_block: shared-memory bytes available per thread block.
+    warp_size: SIMD width (32 on NVIDIA; the paper notes 64 on AMD).
+    blocks_per_sm: concurrently resident blocks per SM (occupancy knob).
+    mem_efficiency: achieved fraction of peak bandwidth for the irregular
+        LDA access mix. Newer architectures achieve more (better caches,
+        better coalescers) — this is the paper's observed Volta win.
+    compute_efficiency: achieved fraction of peak FLOPS.
+    atomic_ops_per_sec: global-atomic throughput at perfect locality.
+    atomic_locality_floor: fraction of atomic throughput retained at
+        fully scattered access (paper §6.2: local atomics are fast).
+    kernel_launch_seconds: fixed per-launch overhead.
+    tail_penalty: weight of the last-wave underutilization charge.
+    tdp_watts / idle_power_fraction: the energy model's power numbers.
+    """
+
+    name: str
+    arch: str
+    num_sms: int
+    peak_bandwidth_gbps: float
+    peak_gflops: float
+    mem_capacity_bytes: int
+    shared_mem_per_block: int = 48 * 1024
+    warp_size: int = 32
+    blocks_per_sm: int = 8
+    mem_efficiency: float = 0.60
+    compute_efficiency: float = 0.50
+    atomic_ops_per_sec: float = 2.0e10
+    atomic_locality_floor: float = 0.05
+    kernel_launch_seconds: float = 5.0e-6
+    tail_penalty: float = 0.3
+    #: Board/package power at full load (energy model; see
+    #: :meth:`repro.gpusim.platform.Machine.energy_joules`).
+    tdp_watts: float = 250.0
+    #: Fraction of TDP drawn while idle.
+    idle_power_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+        if self.peak_bandwidth_gbps <= 0 or self.peak_gflops <= 0:
+            raise ValueError("peak bandwidth and FLOPS must be positive")
+        if self.mem_capacity_bytes <= 0:
+            raise ValueError("mem_capacity_bytes must be positive")
+        if not 0 < self.mem_efficiency <= 1 or not 0 < self.compute_efficiency <= 1:
+            raise ValueError("efficiencies must be in (0, 1]")
+        if self.warp_size < 1:
+            raise ValueError("warp_size must be >= 1")
+
+    @property
+    def peak_bandwidth_bytes(self) -> float:
+        """Peak bandwidth in bytes/second."""
+        return self.peak_bandwidth_gbps * 1e9
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def ridge_flops_per_byte(self) -> float:
+        """The roofline ridge point (peak FLOPS / peak bandwidth).
+
+        The paper quotes 9.2 for the Volta host CPU (470 GFLOPS /
+        51.2 GB/s); any workload below this is memory-bound.
+        """
+        return self.peak_flops / self.peak_bandwidth_bytes
+
+
+class Device:
+    """A live simulated processor bound to a :class:`Machine`."""
+
+    def __init__(self, device_id: int, spec: DeviceSpec, machine: "Machine"):
+        self.device_id = device_id
+        self.spec = spec
+        self.machine = machine
+        self.allocator = DeviceAllocator(spec.mem_capacity_bytes, owner=spec.name)
+        self._streams: list["Stream"] = []
+        self._default_stream: "Stream | None" = None
+
+    @property
+    def default_stream(self) -> "Stream":
+        """The device's stream 0 (created on first use)."""
+        if self._default_stream is None:
+            self._default_stream = self.create_stream("default")
+        return self._default_stream
+
+    def create_stream(self, label: str | None = None) -> "Stream":
+        """Create a new asynchronous stream on this device."""
+        from repro.gpusim.stream import Stream
+
+        stream = Stream(
+            device=self,
+            stream_id=len(self._streams),
+            label=label or f"stream{len(self._streams)}",
+        )
+        self._streams.append(stream)
+        return stream
+
+    @property
+    def streams(self) -> tuple["Stream", ...]:
+        return tuple(self._streams)
+
+    def busy_until(self) -> float:
+        """Simulated time at which all of this device's streams are idle."""
+        if not self._streams:
+            return 0.0
+        return max(s.available_at for s in self._streams)
+
+    def synchronize(self) -> float:
+        """Block the host until the device is idle; returns that time."""
+        t = self.busy_until()
+        self.machine.advance_host(t)
+        return t
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        used = self.allocator.bytes_in_use
+        return (
+            f"Device(id={self.device_id}, {self.spec.name}, "
+            f"mem={used / 2**20:.1f}/{self.spec.mem_capacity_bytes / 2**20:.0f} MiB)"
+        )

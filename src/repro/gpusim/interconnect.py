@@ -1,0 +1,72 @@
+"""Interconnect links: PCIe, NVLink, Ethernet.
+
+A :class:`Link` is a contended, half-duplex-per-direction resource with
+latency + bandwidth timing. Each transfer reserves the link's timeline,
+so two simultaneous copies over the same PCIe lane serialize — which is
+exactly the effect the paper's reduce *tree* (Fig 4) exploits by pairing
+disjoint GPU pairs in each step.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A point-to-point (or shared-bus) communication resource.
+
+    Parameters
+    ----------
+    name: label ("pcie[0]", "p2p[0-1]", "eth").
+    bandwidth_gbps: bandwidth in **gigabytes** per second.
+    latency_seconds: per-message latency.
+    duplex: if True, each direction has an independent timeline
+        (PCIe 3.0 is full duplex); if False both directions contend.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth_gbps: float,
+        latency_seconds: float = 5e-6,
+        duplex: bool = True,
+    ):
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self.name = name
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency_seconds = latency_seconds
+        self.duplex = duplex
+        self._busy_until = {0: 0.0, 1: 0.0}  # direction -> frontier
+        self.bytes_carried = 0.0
+        self.num_transfers = 0
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        return self.bandwidth_gbps * 1e9
+
+    def reserve(self, nbytes: float, earliest: float, direction: int = 0) -> tuple[float, float]:
+        """Reserve the link for *nbytes* starting no earlier than *earliest*.
+
+        Returns the ``(start, end)`` simulated interval. ``direction`` is
+        0 or 1; ignored (mapped to 0) on non-duplex links.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        d = direction if self.duplex else 0
+        if d not in (0, 1):
+            raise ValueError("direction must be 0 or 1")
+        start = max(earliest, self._busy_until[d])
+        end = start + self.latency_seconds + nbytes / self.bandwidth_bytes
+        self._busy_until[d] = end
+        self.bytes_carried += nbytes
+        self.num_transfers += 1
+        return start, end
+
+    def busy_until(self, direction: int = 0) -> float:
+        return self._busy_until[direction if self.duplex else 0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name!r}, {self.bandwidth_gbps} GB/s)"

@@ -1,0 +1,35 @@
+"""Full-scale analytic performance projection.
+
+The functional simulator runs real Gibbs numerics, so it cannot execute
+the paper's 99.5M/738M-token corpora in Python. This subpackage
+evaluates the *same cost model* (the kernels' byte/flop accounting +
+the platform specs) analytically on the full-scale dataset statistics
+(Table 3) with the measured/fitted θ-sparsity evolution — producing the
+paper's Tables 4–5 and Figures 7/9 at original scale.
+
+See DESIGN.md §5 for the functional/performance fidelity split.
+"""
+
+from repro.perfmodel.capacity import MemoryPlan, max_topics_resident, plan_memory
+from repro.perfmodel.projection import (
+    ProjectionConfig,
+    fig7_series,
+    fig9_scaling,
+    project_iteration_seconds,
+    project_series,
+    table4_throughput,
+    table5_breakdown,
+)
+
+__all__ = [
+    "MemoryPlan",
+    "plan_memory",
+    "max_topics_resident",
+    "ProjectionConfig",
+    "project_iteration_seconds",
+    "project_series",
+    "fig7_series",
+    "fig9_scaling",
+    "table4_throughput",
+    "table5_breakdown",
+]

@@ -1,0 +1,147 @@
+"""Memory-capacity planning at paper scale (§5.1's sizing discussion).
+
+"When deciding the value of M, we need to make sure that one GPU's
+memory can accommodate at least one data chunk [...] to overlap the
+computation and memory transfer, we need to allocate two data chunks."
+
+:func:`plan_memory` answers, for a dataset's statistics and a device
+spec, the questions a deployer asks before a run: does the corpus fit
+resident (M = 1)? If not, what M streams it with double buffering?
+How much headroom remains for K growth?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernels import KernelConfig
+from repro.corpus.datasets import DatasetStats
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["MemoryPlan", "plan_memory", "max_topics_resident"]
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """The §5.1 memory decision for one (dataset, device, K) point."""
+
+    dataset: str
+    device: str
+    num_topics: int
+    num_gpus: int
+    chunks_per_gpu: int          # M
+    resident: bool               # True -> WorkSchedule1
+    model_bytes: int             # φ buffers + n_k
+    chunk_bytes: int             # one chunk's corpus + θ footprint
+    budget_bytes: int            # usable device memory
+
+    @property
+    def slots(self) -> int:
+        """Chunk slots held simultaneously (1 resident, 2 streaming)."""
+        return 1 if self.resident else 2
+
+    @property
+    def used_bytes(self) -> int:
+        return self.model_bytes + self.slots * self.chunk_bytes
+
+    @property
+    def headroom_fraction(self) -> float:
+        return 1.0 - self.used_bytes / self.budget_bytes
+
+    def describe(self) -> str:
+        mode = "resident (WorkSchedule1)" if self.resident else (
+            f"streaming M={self.chunks_per_gpu} (WorkSchedule2)"
+        )
+        return (
+            f"{self.dataset} on {self.device} x{self.num_gpus}, K={self.num_topics}: "
+            f"{mode}; model {self.model_bytes / 2**30:.2f} GiB + "
+            f"{self.slots} x chunk {self.chunk_bytes / 2**30:.2f} GiB "
+            f"of {self.budget_bytes / 2**30:.2f} GiB "
+            f"({self.headroom_fraction:.0%} headroom)"
+        )
+
+
+def _chunk_bytes(
+    stats: DatasetStats, tokens: float, docs: float, num_topics: int,
+    config: KernelConfig,
+) -> int:
+    idx_b = config.index_bytes
+    theta_cap = min(stats.avg_doc_length, num_topics) * docs * (idx_b + 4)
+    return int(
+        tokens * (4 + 8 + idx_b)
+        + docs * 16
+        + stats.num_words * 8
+        + theta_cap
+    )
+
+
+def plan_memory(
+    stats: DatasetStats,
+    spec: DeviceSpec,
+    num_topics: int = 1024,
+    num_gpus: int = 1,
+    config: KernelConfig | None = None,
+    headroom: float = 0.9,
+) -> MemoryPlan:
+    """Compute the §5.1 memory plan for a full-scale dataset.
+
+    Raises ``MemoryError`` if even per-document-scale chunks cannot fit
+    (the model alone exceeds the device).
+    """
+    config = config or KernelConfig()
+    budget = int(spec.mem_capacity_bytes * headroom)
+    model = int(
+        3 * num_topics * stats.num_words * config.phi_bytes + num_topics * 8
+    )
+    if model > budget:
+        raise MemoryError(
+            f"model buffers ({model / 2**30:.2f} GiB) exceed {spec.name}'s "
+            f"budget ({budget / 2**30:.2f} GiB)"
+        )
+    T_g = stats.num_tokens / num_gpus
+    D_g = stats.num_docs / num_gpus
+
+    m = 1
+    while True:
+        chunk = _chunk_bytes(stats, T_g / m, D_g / m, num_topics, config)
+        slots = 1 if m == 1 else 2
+        if model + slots * chunk <= budget:
+            return MemoryPlan(
+                dataset=stats.name,
+                device=spec.name,
+                num_topics=num_topics,
+                num_gpus=num_gpus,
+                chunks_per_gpu=m,
+                resident=(m == 1),
+                model_bytes=model,
+                chunk_bytes=chunk,
+                budget_bytes=budget,
+            )
+        m = m + 1 if m > 1 else 2
+        if m > stats.num_docs:
+            raise MemoryError("no chunking fits the device")
+
+
+def max_topics_resident(
+    stats: DatasetStats,
+    spec: DeviceSpec,
+    num_gpus: int = 1,
+    config: KernelConfig | None = None,
+    headroom: float = 0.9,
+    k_limit: int = 1 << 15,
+) -> int:
+    """Largest power-of-two K for which the dataset stays resident
+    (M = 1) on *spec* — the capacity frontier of WorkSchedule1."""
+    config = config or KernelConfig()
+    best = 0
+    k = 2
+    while k <= k_limit:
+        try:
+            plan = plan_memory(stats, spec, k, num_gpus, config, headroom)
+        except MemoryError:
+            break
+        if not plan.resident:
+            break
+        best = k
+        k *= 2
+    return best

@@ -1,0 +1,135 @@
+"""Markdown run reports.
+
+`render_markdown` turns a :class:`~repro.core.culda.TrainResult` (plus,
+optionally, the machine it ran on) into a self-contained report: run
+configuration, throughput trace, kernel breakdown, memory/energy
+figures, and top words per topic — what you'd paste into a lab
+notebook or attach to a CI artifact. The CLI exposes it as
+``repro-lda train ... --report run.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.culda import TrainResult
+    from repro.corpus.corpus import Vocabulary
+    from repro.gpusim.platform import Machine
+
+__all__ = ["render_markdown"]
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def render_markdown(
+    result: "TrainResult",
+    machine: "Machine | None" = None,
+    vocabulary: "Vocabulary | None" = None,
+    top_words: int = 8,
+    max_iteration_rows: int = 20,
+) -> str:
+    """Render a training run as GitHub-flavoured markdown."""
+    lines: list[str] = []
+    lines.append(f"# CuLDA_CGS run report — {result.corpus_name}")
+    lines.append("")
+    lines.append("## Configuration")
+    lines.append("")
+    lines.append("| | |")
+    lines.append("|---|---|")
+    lines.append(f"| machine | {result.machine_name} ({result.num_gpus} GPU(s)) |")
+    lines.append(f"| corpus | {result.corpus_name}, T = {result.num_tokens:,} |")
+    lines.append(f"| topics (K) | {result.hyper.num_topics} |")
+    lines.append(f"| α / β | {result.hyper.alpha:.4g} / {result.hyper.beta:.4g} |")
+    lines.append(
+        f"| chunking | C = {result.plan_chunks} (M = {result.chunks_per_gpu}, "
+        f"{'resident' if result.chunks_per_gpu == 1 else 'streaming'}) |"
+    )
+    lines.append(f"| iterations | {len(result.iterations)} |")
+    lines.append("")
+
+    lines.append("## Outcome")
+    lines.append("")
+    lines.append("| metric | value |")
+    lines.append("|---|---|")
+    lines.append(
+        f"| simulated time | {result.total_sim_seconds * 1e3:.3f} ms |"
+    )
+    lines.append(
+        f"| throughput (Eq 2) | {result.avg_tokens_per_sec / 1e6:.1f} M tokens/s |"
+    )
+    if result.final_log_likelihood is not None:
+        lines.append(
+            f"| log-likelihood/token | {result.final_log_likelihood:.4f} |"
+        )
+    lines.append(
+        f"| peak device memory | {_fmt_bytes(result.peak_device_bytes)} |"
+    )
+    if machine is not None:
+        lines.append(
+            f"| energy estimate | {machine.energy_joules() * 1e3:.2f} mJ |"
+        )
+    lines.append(f"| wall time | {result.wall_seconds:.2f} s |")
+    lines.append("")
+
+    lines.append("## Kernel time breakdown")
+    lines.append("")
+    lines.append("| kind | share |")
+    lines.append("|---|---|")
+    for kind in ("sampling", "update_theta", "update_phi", "sync", "h2d", "d2h"):
+        share = result.breakdown.get(kind, 0.0)
+        if share > 0:
+            lines.append(f"| {kind} | {share * 100:.1f}% |")
+    lines.append("")
+
+    lines.append("## Iteration trace")
+    lines.append("")
+    lines.append("| iter | M tokens/s | mean K_d | p1 draws | ll/token |")
+    lines.append("|---|---|---|---|---|")
+    n = len(result.iterations)
+    step = max(1, n // max_iteration_rows)
+    shown = list(range(0, n, step))
+    if (n - 1) not in shown:
+        shown.append(n - 1)
+    for i in shown:
+        it = result.iterations[i]
+        ll = (
+            f"{it.log_likelihood_per_token:.4f}"
+            if it.log_likelihood_per_token is not None
+            else "—"
+        )
+        lines.append(
+            f"| {it.iteration} | {it.tokens_per_sec / 1e6:.1f} | "
+            f"{it.mean_kd:.1f} | {it.p1_fraction:.0%} | {ll} |"
+        )
+    lines.append("")
+
+    lines.append(f"## Topics (top {top_words} words)")
+    lines.append("")
+    mass = result.phi.sum(axis=1)
+    for k in np.argsort(mass)[::-1]:
+        ids = result.top_words(int(k), n=top_words)
+        words = (
+            " ".join(vocabulary.word_of(w) for w in ids)
+            if vocabulary is not None
+            else " ".join(str(w) for w in ids)
+        )
+        lines.append(f"- **topic {k}** ({int(mass[k]):,} tokens): {words}")
+    lines.append("")
+
+    if machine is not None and machine.trace.intervals:
+        lines.append("## Timeline (text Gantt)")
+        lines.append("")
+        lines.append("```")
+        lines.append(machine.trace.gantt_text(width=80))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Workload partition (paper §4, §5.1).
+
+CuLDA_CGS partitions the corpus **by document** because synchronizing
+the θ replicas (D×K, with D often orders of magnitude larger than V)
+would dwarf synchronizing the φ replicas (K×V) — the analysis in §4,
+reproduced by :func:`sync_volume_by_policy`.
+
+Documents have wildly different lengths, so chunks are balanced **by
+token count**, not document count (§4): :func:`partition_by_tokens`
+cuts the cumulative token curve at C even levels.
+
+The chunk count is ``C = M × G`` (§5.1). :func:`choose_chunking` picks
+the smallest M whose memory plan fits the device: M = 1 needs one
+resident chunk + the model; M > 1 needs **two** chunk slots (double
+buffering for the transfer/compute overlap of WorkSchedule2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.corpus import Corpus
+from repro.core.kernels import KernelConfig
+from repro.core.model import LDAHyperParams
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "PartitionPlan",
+    "partition_by_tokens",
+    "estimate_chunk_device_bytes",
+    "model_device_bytes",
+    "choose_chunking",
+    "sync_volume_by_policy",
+]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The chosen chunking: C = M × G chunks as document ranges."""
+
+    doc_ranges: tuple[tuple[int, int], ...]
+    chunks_per_gpu: int          # M
+    num_gpus: int                # G
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.doc_ranges)
+
+    def gpu_of_chunk(self, chunk_id: int) -> int:
+        """Round-robin assignment: chunk i runs on GPU ``i % G`` (§5.1)."""
+        return chunk_id % self.num_gpus
+
+
+def partition_by_tokens(corpus: Corpus, num_chunks: int) -> list[tuple[int, int]]:
+    """Split documents into *num_chunks* contiguous ranges of ~equal
+    token mass.
+
+    Cuts the cumulative token count at levels ``i·T/C``; every chunk is
+    guaranteed at least one document (requires ``num_chunks ≤ D``).
+    """
+    D, T = corpus.num_docs, corpus.num_tokens
+    if not 1 <= num_chunks <= D:
+        raise ValueError(f"num_chunks must be in [1, D={D}]")
+    csum = corpus.doc_indptr[1:]  # cumulative tokens after each doc
+    targets = np.arange(1, num_chunks) * (T / num_chunks)
+    cuts = (np.searchsorted(csum, targets, side="left") + 1).astype(np.int64)
+    # Enforce strictly increasing cuts inside (0, D) so no chunk is
+    # empty. Feasible because num_chunks <= D: cut i must leave room for
+    # i+1 chunks before it and num_chunks-1-i after it.
+    prev = 0
+    for i in range(cuts.size):
+        lo_bound = prev + 1
+        hi_bound = D - (num_chunks - 1 - i)
+        cuts[i] = min(max(cuts[i], lo_bound), hi_bound)
+        prev = cuts[i]
+    bounds = np.concatenate(([0], cuts, [D])).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(num_chunks)]
+
+
+def estimate_chunk_device_bytes(
+    corpus: Corpus,
+    doc_range: tuple[int, int],
+    hyper: LDAHyperParams,
+    config: KernelConfig,
+) -> int:
+    """Device bytes for one chunk's corpus data, topics, and θ replica.
+
+    θ capacity is the per-document bound nnz_d ≤ min(DocLen_d, K)
+    (a row cannot have more distinct topics than tokens, nor than K).
+    """
+    lo, hi = doc_range
+    lengths = np.diff(corpus.doc_indptr[lo : hi + 1])
+    T_c = int(lengths.sum())
+    D_c = hi - lo
+    V = corpus.num_words
+    K = hyper.num_topics
+    idx_b = config.index_bytes
+    theta_cap = int(np.minimum(lengths, K).sum())
+    return int(
+        T_c * 4                 # token_doc
+        + (V + 1) * 8           # word_indptr
+        + (D_c + 1) * 8         # doc_map_indptr
+        + T_c * 8               # doc_map_indices
+        + T_c * idx_b           # topics
+        + (D_c + 1) * 8         # theta indptr
+        + theta_cap * (idx_b + 4)  # theta indices + counts
+    )
+
+
+def model_device_bytes(
+    num_topics: int, num_words: int, config: KernelConfig
+) -> int:
+    """Bytes for the per-GPU φ buffers (full + partial + reduce scratch)
+    and n_k."""
+    phi = num_topics * num_words * config.phi_bytes
+    return int(3 * phi + num_topics * 8)
+
+
+def choose_chunking(
+    corpus: Corpus,
+    num_gpus: int,
+    hyper: LDAHyperParams,
+    config: KernelConfig,
+    device_spec: DeviceSpec,
+    chunks_per_gpu: int | None = None,
+    headroom: float = 0.9,
+) -> PartitionPlan:
+    """Pick M (and thus C = M × G) per §5.1's memory rule.
+
+    - M = 1 if the GPU holds its whole resident chunk plus the model;
+    - otherwise the smallest M for which *two* chunk slots (double
+      buffering) plus the model fit;
+    - an explicit ``chunks_per_gpu`` skips the search but is still
+      validated against capacity.
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    budget = device_spec.mem_capacity_bytes * headroom
+    fixed = model_device_bytes(hyper.num_topics, corpus.num_words, config)
+    if fixed > budget:
+        raise MemoryError(
+            f"model alone ({fixed / 2**20:.0f} MiB) exceeds device budget "
+            f"({budget / 2**20:.0f} MiB); reduce K or V"
+        )
+
+    def plan_fits(m: int) -> tuple[bool, list[tuple[int, int]]]:
+        c = m * num_gpus
+        if c > corpus.num_docs:
+            return False, []
+        ranges = partition_by_tokens(corpus, c)
+        worst = max(
+            estimate_chunk_device_bytes(corpus, r, hyper, config) for r in ranges
+        )
+        slots = 1 if m == 1 else 2
+        return fixed + slots * worst <= budget, ranges
+
+    if chunks_per_gpu is not None:
+        if chunks_per_gpu < 1:
+            raise ValueError("chunks_per_gpu must be >= 1")
+        ok, ranges = plan_fits(chunks_per_gpu)
+        if not ok:
+            raise MemoryError(
+                f"M={chunks_per_gpu} does not fit on {device_spec.name}"
+            )
+        return PartitionPlan(tuple(ranges), chunks_per_gpu, num_gpus)
+
+    m = 1
+    while True:
+        ok, ranges = plan_fits(m)
+        if ok:
+            return PartitionPlan(tuple(ranges), m, num_gpus)
+        m = m + 1 if m > 1 else 2
+        if m * num_gpus > corpus.num_docs:
+            raise MemoryError(
+                "no chunking fits: even per-document chunks exceed device memory"
+            )
+
+
+def sync_volume_by_policy(
+    num_docs: int, num_words: int, num_topics: int, config: KernelConfig
+) -> dict[str, int]:
+    """Per-iteration synchronization volume of the two partition policies
+    (§4's argument for partition-by-document).
+
+    partition-by-document replicates φ (K × V); partition-by-word
+    replicates θ (D × K, CSR-bounded here by its dense size for the
+    comparison the paper makes: D ≫ V ⇒ θ sync ≫ φ sync).
+    """
+    return {
+        "by_document": num_topics * num_words * config.phi_bytes,
+        "by_word": num_docs * num_topics * (config.index_bytes + 4),
+    }

@@ -1,0 +1,80 @@
+"""Shared fixtures: small corpora, hyperparameters, platforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LDAHyperParams
+from repro.corpus.corpus import Corpus
+from repro.corpus.synthetic import SyntheticSpec, generate_lda_corpus
+from repro.gpusim.platform import pascal_platform, volta_platform
+
+
+@pytest.fixture
+def tiny_corpus() -> Corpus:
+    """A 5-document hand-built corpus with known contents."""
+    docs = [
+        [0, 1, 2, 0],
+        [3, 3, 4],
+        [0, 5, 5, 5, 1],
+        [2],
+        [4, 0, 1],
+    ]
+    return Corpus.from_documents(docs, num_words=6, name="tiny")
+
+
+@pytest.fixture
+def small_corpus() -> Corpus:
+    """A generated ~3k-token corpus with planted topics."""
+    spec = SyntheticSpec(
+        num_docs=60,
+        num_words=200,
+        avg_doc_length=50,
+        num_topics=4,
+        name="small",
+    )
+    return generate_lda_corpus(spec, seed=7)
+
+
+@pytest.fixture
+def medium_corpus() -> Corpus:
+    """A generated ~20k-token corpus (integration tests)."""
+    spec = SyntheticSpec(
+        num_docs=150,
+        num_words=600,
+        avg_doc_length=130,
+        num_topics=8,
+        name="medium",
+    )
+    return generate_lda_corpus(spec, seed=11)
+
+
+@pytest.fixture
+def hyper8() -> LDAHyperParams:
+    return LDAHyperParams(num_topics=8)
+
+
+@pytest.fixture
+def hyper16() -> LDAHyperParams:
+    return LDAHyperParams(num_topics=16)
+
+
+@pytest.fixture
+def pascal1():
+    return pascal_platform(1)
+
+
+@pytest.fixture
+def pascal4():
+    return pascal_platform(4)
+
+
+@pytest.fixture
+def volta2():
+    return volta_platform(2)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

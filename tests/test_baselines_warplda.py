@@ -1,0 +1,83 @@
+"""Tests for the WarpLDA CPU baseline (MCEM/MH, O(1) per token)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.warplda import MH_STEPS, WarpLDA, warplda_iteration_cost
+from repro.core.model import LDAHyperParams
+from repro.corpus.datasets import NYTIMES, PUBMED
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.platform import CPU_E5_2690V4
+
+
+class TestFunctional:
+    def test_counts_consistent(self, small_corpus, hyper16):
+        w = WarpLDA(small_corpus, hyper16, seed=0)
+        r = w.train(iterations=3)
+        assert w.phi.sum() == small_corpus.num_tokens
+        assert w.theta.sum() == small_corpus.num_tokens
+        assert np.array_equal(w.n_k, w.phi.sum(axis=1))
+
+    def test_likelihood_improves(self, medium_corpus):
+        hyper = LDAHyperParams(num_topics=16)
+        w = WarpLDA(medium_corpus, hyper, seed=0)
+        ll0 = w.log_likelihood_per_token()
+        w.train(iterations=15)
+        assert w.log_likelihood_per_token() > ll0 + 0.1
+
+    def test_deterministic(self, small_corpus, hyper8):
+        a = WarpLDA(small_corpus, hyper8, seed=3)
+        a.train(iterations=2)
+        b = WarpLDA(small_corpus, hyper8, seed=3)
+        b.train(iterations=2)
+        assert np.array_equal(a.topics, b.topics)
+
+    def test_topics_in_range(self, small_corpus, hyper8):
+        w = WarpLDA(small_corpus, hyper8, seed=1)
+        w.train(iterations=4)
+        assert w.topics.min() >= 0
+        assert w.topics.max() < 8
+
+    def test_result_fields(self, small_corpus, hyper8):
+        r = WarpLDA(small_corpus, hyper8, seed=0).train(
+            iterations=4, likelihood_every=2
+        )
+        assert len(r.iterations) == 4
+        assert r.total_sim_seconds > 0
+        assert r.final_log_likelihood is not None
+        assert r.iterations[1].log_likelihood_per_token is not None
+        assert r.iterations[0].log_likelihood_per_token is None
+        assert r.phi.sum() == small_corpus.num_tokens
+
+
+class TestCostModel:
+    def test_calibrated_to_table4(self):
+        """The paper's Table 4 WarpLDA row: 108.0 M tokens/s (NYTimes),
+        93.5 M (PubMed) on the Volta-platform host."""
+        cm = CostModel()
+        for stats, target in ((NYTIMES, 108.0e6), (PUBMED, 93.5e6)):
+            cost = warplda_iteration_cost(
+                stats.num_tokens, 1024, stats.num_words, stats.avg_doc_length
+            )
+            dt = cm.kernel_seconds(CPU_E5_2690V4, cost)
+            throughput = stats.num_tokens / dt
+            assert throughput == pytest.approx(target, rel=0.05)
+
+    def test_cost_linear_in_tokens(self):
+        a = warplda_iteration_cost(1_000_000, 64, 1000, 100.0)
+        b = warplda_iteration_cost(2_000_000, 64, 1000, 100.0)
+        assert b.total_bytes == pytest.approx(2 * a.total_bytes)
+
+    def test_short_docs_cost_more_per_token(self):
+        long_docs = warplda_iteration_cost(10**6, 64, 1000, 332.0)
+        short_docs = warplda_iteration_cost(10**6, 64, 1000, 92.0)
+        assert short_docs.total_bytes > long_docs.total_bytes
+
+    def test_memory_bound(self):
+        cost = warplda_iteration_cost(10**6, 1024, 10**5, 100.0)
+        assert cost.flops_per_byte < CPU_E5_2690V4.ridge_flops_per_byte
+
+    def test_mh_steps_constant(self):
+        assert MH_STEPS >= 1

@@ -1,0 +1,108 @@
+"""Tests for the incremental corpus builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.builder import CorpusBuilder
+
+
+class TestStringMode:
+    def test_interns_and_builds(self):
+        b = CorpusBuilder(name="news")
+        d0 = b.add_document(["cat", "sat", "cat"])
+        d1 = b.add_document(["dog", "sat"])
+        assert (d0, d1) == (0, 1)
+        corpus = b.build()
+        assert corpus.num_docs == 2
+        assert corpus.num_tokens == 5
+        assert corpus.num_words == 3
+        assert corpus.vocabulary.word_of(0) == "cat"
+        assert corpus.document(0).tolist() == [0, 1, 0]
+
+    def test_shared_words_share_ids(self):
+        b = CorpusBuilder()
+        b.add_document(["a", "b"])
+        b.add_document(["b", "c"])
+        corpus = b.build()
+        assert corpus.document(0)[1] == corpus.document(1)[0]
+
+
+class TestIdMode:
+    def test_builds_from_ids(self):
+        b = CorpusBuilder()
+        b.add_document_ids([0, 2, 2])
+        b.add_document_ids([1])
+        corpus = b.build()
+        assert corpus.num_words == 3
+        assert corpus.vocabulary is None
+
+    def test_explicit_num_words(self):
+        b = CorpusBuilder()
+        b.add_document_ids([0, 1])
+        corpus = b.build(num_words=10)
+        assert corpus.num_words == 10
+
+    def test_num_words_must_cover_ids(self):
+        b = CorpusBuilder()
+        b.add_document_ids([0, 7])
+        with pytest.raises(ValueError, match="cover"):
+            b.build(num_words=5)
+
+    def test_negative_id_rejected(self):
+        b = CorpusBuilder()
+        with pytest.raises(ValueError):
+            b.add_document_ids([-1])
+
+
+class TestGrowth:
+    def test_buffer_growth_many_docs(self):
+        b = CorpusBuilder()
+        rng = np.random.default_rng(0)
+        expected_tokens = 0
+        for _ in range(200):
+            n = int(rng.integers(1, 60))
+            b.add_document_ids(rng.integers(0, 50, n).tolist())
+            expected_tokens += n
+        corpus = b.build()
+        assert corpus.num_tokens == expected_tokens
+        assert corpus.num_docs == 200
+
+    def test_empty_document_allowed(self):
+        b = CorpusBuilder()
+        b.add_document([])
+        b.add_document(["x"])
+        corpus = b.build()
+        assert corpus.doc_lengths.tolist() == [0, 1]
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusBuilder().build()
+
+    def test_built_corpus_trains(self):
+        from repro.core import CuLDA, TrainConfig
+        from repro.gpusim.platform import pascal_platform
+
+        rng = np.random.default_rng(1)
+        b = CorpusBuilder()
+        for _ in range(40):
+            b.add_document_ids(rng.integers(0, 30, 25).tolist())
+        corpus = b.build()
+        r = CuLDA(corpus, pascal_platform(1),
+                  TrainConfig(num_topics=4, iterations=2, seed=0)).train()
+        assert r.phi.sum() == corpus.num_tokens
+
+
+class TestModeExclusivity:
+    def test_cannot_mix_ids_into_string_mode(self):
+        b = CorpusBuilder()
+        b.add_document(["a"])
+        with pytest.raises(ValueError, match="mix"):
+            b.add_document_ids([0])
+
+    def test_cannot_mix_strings_into_id_mode(self):
+        b = CorpusBuilder()
+        b.add_document_ids([0])
+        with pytest.raises(ValueError, match="mix"):
+            b.add_document(["a"])

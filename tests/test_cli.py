@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_corpus_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_mutually_exclusive_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--uci", "x", "--synthetic", "nytimes"]
+            )
+
+
+class TestTrain:
+    def test_train_synthetic(self, capsys):
+        rc = main([
+            "train", "--synthetic", "nytimes", "--tokens", "8000",
+            "--topics", "8", "--iterations", "3", "--platform", "pascal",
+            "--gpus", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CuLDA_CGS on Pascal Platform" in out
+        assert "tokens/sec" in out
+
+    def test_train_save_and_top_words(self, capsys, tmp_path):
+        model = tmp_path / "m.npz"
+        rc = main([
+            "train", "--synthetic", "pubmed", "--tokens", "6000",
+            "--topics", "6", "--iterations", "2", "--save", str(model),
+            "--top-words", "3",
+        ])
+        assert rc == 0
+        assert model.exists()
+        out = capsys.readouterr().out
+        assert "topic   0:" in out
+        assert "model saved" in out
+
+    def test_train_uci_file(self, capsys, tmp_path, small_corpus):
+        from repro.corpus.uci import write_uci_bow
+
+        p = tmp_path / "docword.small.txt"
+        write_uci_bow(small_corpus, p)
+        rc = main([
+            "train", "--uci", str(p), "--topics", "4", "--iterations", "2",
+        ])
+        assert rc == 0
+        assert "docword" in capsys.readouterr().out
+
+
+class TestInfer:
+    def test_round_trip(self, capsys, tmp_path):
+        model = tmp_path / "m.npz"
+        main([
+            "train", "--synthetic", "nytimes", "--tokens", "8000",
+            "--topics", "8", "--iterations", "4", "--save", str(model),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "infer", "--model", str(model), "--synthetic", "nytimes",
+            "--tokens", "2000", "--iterations", "4", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "held-out log-likelihood/token" in out
+        assert "dominant-topic histogram" in out
+
+    def test_vocab_overflow_is_an_error(self, capsys, tmp_path):
+        model = tmp_path / "m.npz"
+        main([
+            "train", "--synthetic", "pubmed", "--tokens", "4000",
+            "--topics", "6", "--iterations", "2", "--save", str(model),
+        ])
+        capsys.readouterr()
+        # A much larger twin has a larger vocabulary than the model.
+        rc = main([
+            "infer", "--model", str(model), "--synthetic", "nytimes",
+            "--tokens", "200000",
+        ])
+        assert rc == 2
+        assert "exceeds" in capsys.readouterr().err
+
+
+class TestProject:
+    @pytest.mark.parametrize("artifact,needle", [
+        ("table1", "Compute S"),
+        ("fig9", "GPU(s):"),
+    ])
+    def test_artifacts_print(self, capsys, artifact, needle):
+        rc = main(["project", artifact])
+        assert rc == 0
+        assert needle in capsys.readouterr().out
+
+    def test_table4_slow_artifacts(self, capsys):
+        rc = main(["project", "table4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NYTimes" in out and "PubMed" in out
+
+    def test_fig7_dataset_option(self, capsys):
+        rc = main(["project", "fig7", "--dataset", "PubMed"])
+        assert rc == 0
+        assert "Volta" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_train_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "run.md"
+        rc = main([
+            "train", "--synthetic", "nytimes", "--tokens", "6000",
+            "--topics", "6", "--iterations", "3",
+            "--likelihood-every", "1", "--report", str(report),
+        ])
+        assert rc == 0
+        text = report.read_text()
+        assert "# CuLDA_CGS run report" in text
+        assert "Kernel time breakdown" in text
+        assert "Iteration trace" in text
+        assert "topic" in text

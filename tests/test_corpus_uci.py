@@ -1,0 +1,100 @@
+"""Tests for the UCI bag-of-words reader/writer."""
+
+from __future__ import annotations
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.corpus.uci import read_uci_bow, read_uci_vocab, write_uci_bow
+
+
+def _write(tmp_path, text, name="docword.test.txt"):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+class TestReader:
+    def test_basic_parse(self, tmp_path):
+        p = _write(tmp_path, "2\n3\n3\n1 1 2\n1 3 1\n2 2 4\n")
+        c = read_uci_bow(p)
+        assert c.num_docs == 2
+        assert c.num_words == 3
+        assert c.num_tokens == 7
+        assert sorted(c.document(0).tolist()) == [0, 0, 2]
+        assert c.document(1).tolist() == [1, 1, 1, 1]
+
+    def test_gzip_support(self, tmp_path):
+        p = tmp_path / "docword.test.txt.gz"
+        with gzip.open(p, "wt") as fh:
+            fh.write("1\n2\n1\n1 2 3\n")
+        c = read_uci_bow(p)
+        assert c.num_tokens == 3
+        assert c.document(0).tolist() == [1, 1, 1]
+
+    def test_nnz_mismatch_rejected(self, tmp_path):
+        p = _write(tmp_path, "1\n2\n5\n1 1 1\n")
+        with pytest.raises(ValueError, match="NNZ"):
+            read_uci_bow(p)
+
+    def test_bad_header_rejected(self, tmp_path):
+        p = _write(tmp_path, "x\n2\n1\n1 1 1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_uci_bow(p)
+
+    def test_out_of_range_doc_rejected(self, tmp_path):
+        p = _write(tmp_path, "1\n2\n1\n5 1 1\n")
+        with pytest.raises(ValueError, match="document id"):
+            read_uci_bow(p)
+
+    def test_out_of_range_word_rejected(self, tmp_path):
+        p = _write(tmp_path, "1\n2\n1\n1 9 1\n")
+        with pytest.raises(ValueError, match="word id"):
+            read_uci_bow(p)
+
+    def test_vocab_loading(self, tmp_path):
+        bow = _write(tmp_path, "1\n2\n2\n1 1 1\n1 2 1\n")
+        vocab = tmp_path / "vocab.test.txt"
+        vocab.write_text("alpha\nbeta\n")
+        c = read_uci_bow(bow, vocab_path=vocab)
+        assert c.vocabulary is not None
+        assert c.vocabulary.word_of(0) == "alpha"
+
+    def test_vocab_size_mismatch(self, tmp_path):
+        bow = _write(tmp_path, "1\n3\n1\n1 1 1\n")
+        vocab = tmp_path / "vocab.test.txt"
+        vocab.write_text("only\n")
+        with pytest.raises(ValueError, match="vocabulary"):
+            read_uci_bow(bow, vocab_path=vocab)
+
+    def test_read_vocab_is_frozen(self, tmp_path):
+        vocab = tmp_path / "vocab.txt"
+        vocab.write_text("a\nb\n")
+        v = read_uci_vocab(vocab)
+        assert v.frozen
+        assert len(v) == 2
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_corpus(self, small_corpus, tmp_path):
+        p = tmp_path / "docword.rt.txt"
+        write_uci_bow(small_corpus, p)
+        back = read_uci_bow(p)
+        assert back.num_docs == small_corpus.num_docs
+        assert back.num_words == small_corpus.num_words
+        assert back.num_tokens == small_corpus.num_tokens
+        # Per-document word multisets must match (order may differ).
+        for d in range(small_corpus.num_docs):
+            assert sorted(back.document(d).tolist()) == sorted(
+                small_corpus.document(d).tolist()
+            )
+
+    def test_round_trip_word_frequencies(self, tiny_corpus, tmp_path):
+        p = tmp_path / "docword.tiny.txt"
+        write_uci_bow(tiny_corpus, p)
+        back = read_uci_bow(p)
+        assert np.array_equal(
+            back.word_frequencies(), tiny_corpus.word_frequencies()
+        )

@@ -1,0 +1,59 @@
+"""Smoke tests keeping the runnable examples healthy.
+
+Each example's ``main()`` runs in-process with stdout captured. The
+slow ones (convergence comparison, K sweep) are exercised through their
+building blocks elsewhere; here we run the fast end-to-end ones.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExampleSmoke:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "CuLDA_CGS on Pascal Platform" in out
+        assert "topic 0:" in out
+
+    def test_news_topics_recovers_themes(self, capsys):
+        _load("news_topics").main()
+        out = capsys.readouterr().out
+        assert "discovered topics" in out
+        # At least one seeded theme word shows up among the top words.
+        assert any(w in out for w in ("coach", "stock", "senate", "chef", "gene"))
+
+    def test_profile_timeline(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            sys, "argv", ["profile_timeline", str(tmp_path / "t.json")]
+        )
+        _load("profile_timeline").main()
+        out = capsys.readouterr().out
+        assert "Gantt" in out
+        assert (tmp_path / "t.json").exists()
+
+    def test_streaming_updates(self, capsys):
+        _load("streaming_updates").main()
+        out = capsys.readouterr().out
+        assert "warm-start" in out
+        assert "cold-start" in out
+
+    def test_multi_gpu_scaling(self, capsys):
+        _load("multi_gpu_scaling").main()
+        out = capsys.readouterr().out
+        assert "speedup x4" in out
+        assert "model identical to 1-GPU run: True" in out

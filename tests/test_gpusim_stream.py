@@ -1,0 +1,123 @@
+"""Tests for streams, events, and overlap semantics (CUDA timing rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.costmodel import KernelCost
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.platform import pascal_platform
+from repro.gpusim.stream import Event
+
+
+def _kernel(seconds_bytes=1e8, label="k"):
+    """A kernel whose duration is dominated by seconds_bytes of traffic."""
+    return KernelLaunch(lambda: None, KernelCost(bytes_read=seconds_bytes), label)
+
+
+class TestStreamOrdering:
+    def test_same_stream_serializes(self, pascal1):
+        gpu = pascal1.gpus[0]
+        s = gpu.create_stream("a")
+        t0a, t1a, _ = _kernel().launch(s)
+        t0b, t1b, _ = _kernel().launch(s)
+        assert t0b >= t1a
+        assert t1b > t1a
+
+    def test_different_streams_overlap(self, pascal1):
+        gpu = pascal1.gpus[0]
+        s1, s2 = gpu.create_stream("a"), gpu.create_stream("b")
+        a0, a1, _ = _kernel(1e9).launch(s1)
+        b0, b1, _ = _kernel(1e9).launch(s2)
+        assert b0 < a1, "streams must overlap in simulated time"
+
+    def test_different_devices_overlap(self, pascal4):
+        s1 = pascal4.gpus[0].default_stream
+        s2 = pascal4.gpus[3].default_stream
+        a0, a1, _ = _kernel(1e9).launch(s1)
+        b0, b1, _ = _kernel(1e9).launch(s2)
+        assert b0 < a1
+
+    def test_negative_duration_rejected(self, pascal1):
+        s = pascal1.gpus[0].default_stream
+        with pytest.raises(ValueError):
+            s.enqueue(-1.0, "x", "x")
+
+
+class TestEvents:
+    def test_unrecorded_event_raises(self):
+        e = Event("never")
+        assert not e.recorded
+        with pytest.raises(RuntimeError):
+            _ = e.time
+
+    def test_record_captures_frontier(self, pascal1):
+        s = pascal1.gpus[0].default_stream
+        _kernel(1e9).launch(s)
+        e = s.record(label="after")
+        assert e.time == s.available_at
+
+    def test_wait_event_cross_stream(self, pascal1):
+        gpu = pascal1.gpus[0]
+        s1, s2 = gpu.create_stream("a"), gpu.create_stream("b")
+        _, end, _ = _kernel(1e9).launch(s1)
+        e = s1.record()
+        s2.wait_event(e)
+        b0, _, _ = _kernel().launch(s2)
+        assert b0 >= end
+
+    def test_wait_event_cross_device(self, pascal4):
+        s1 = pascal4.gpus[0].default_stream
+        s2 = pascal4.gpus[1].default_stream
+        _, end, _ = _kernel(1e9).launch(s1)
+        e = s1.record()
+        s2.wait_event(e)
+        b0, _, _ = _kernel().launch(s2)
+        assert b0 >= end
+
+    def test_wait_consumed_after_one_op(self, pascal1):
+        """The pending dependency applies to the next op only (as an
+        in-order stream's wait does)."""
+        gpu = pascal1.gpus[0]
+        s1, s2 = gpu.create_stream("a"), gpu.create_stream("b")
+        _kernel(1e10).launch(s1)
+        e = s1.record()
+        s2.wait_event(e)
+        _kernel(1.0).launch(s2)  # tiny kernel, gated by the event
+        start3, _, _ = _kernel(1.0).launch(s2)
+        # Third op starts right after the second, not re-gated.
+        assert start3 == pytest.approx(s2.available_at - (
+            pascal1.cost_model.kernel_seconds(gpu.spec, KernelCost(bytes_read=1.0))
+        ))
+
+
+class TestSynchronize:
+    def test_stream_synchronize_advances_host(self, pascal1):
+        s = pascal1.gpus[0].default_stream
+        _, end, _ = _kernel(1e9).launch(s)
+        t = s.synchronize()
+        assert t == end
+        assert pascal1.host_time >= end
+
+    def test_device_synchronize_covers_all_streams(self, pascal1):
+        gpu = pascal1.gpus[0]
+        s1, s2 = gpu.create_stream("a"), gpu.create_stream("b")
+        _kernel(1e9).launch(s1)
+        _, end2, _ = _kernel(2e9).launch(s2)
+        t = gpu.synchronize()
+        assert t == pytest.approx(max(s1.available_at, end2))
+
+    def test_machine_synchronize(self, pascal4):
+        ends = []
+        for g in pascal4.gpus:
+            _, e, _ = _kernel(1e9).launch(g.default_stream)
+            ends.append(e)
+        t = pascal4.synchronize()
+        assert t == pytest.approx(max(ends))
+
+    def test_host_work_after_sync_starts_later(self, pascal1):
+        s = pascal1.gpus[0].default_stream
+        _kernel(1e9).launch(s)
+        s.synchronize()
+        start, _, _ = _kernel(1.0).launch(s)
+        assert start >= pascal1.host_time - 1e-12

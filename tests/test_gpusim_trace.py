@@ -1,0 +1,118 @@
+"""Tests for the timeline recorder (Table 5 breakdowns, overlap checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.trace import Interval, TraceRecorder
+
+
+def _mk(rec, kind, start, end, dev=0, stream="0.s"):
+    rec.add(device_id=dev, stream=stream, kind=kind, label=kind,
+            start=start, end=end)
+
+
+class TestRecorder:
+    def test_totals_by_kind(self):
+        r = TraceRecorder()
+        _mk(r, "sampling", 0, 10)
+        _mk(r, "sampling", 10, 15)
+        _mk(r, "update_phi", 15, 16)
+        totals = r.total_time_by_kind()
+        assert totals["sampling"] == 15
+        assert totals["update_phi"] == 1
+
+    def test_breakdown_fractions(self):
+        r = TraceRecorder()
+        _mk(r, "a", 0, 9)
+        _mk(r, "b", 9, 10)
+        frac = r.breakdown_fractions()
+        assert frac["a"] == pytest.approx(0.9)
+        assert frac["b"] == pytest.approx(0.1)
+
+    def test_breakdown_restricted_kinds(self):
+        r = TraceRecorder()
+        _mk(r, "a", 0, 5)
+        _mk(r, "b", 5, 10)
+        _mk(r, "c", 10, 30)
+        frac = r.breakdown_fractions(("a", "b"))
+        assert frac["a"] == pytest.approx(0.5)
+        assert "c" not in frac
+
+    def test_breakdown_empty(self):
+        r = TraceRecorder()
+        assert r.breakdown_fractions(("a",)) == {"a": 0.0}
+
+    def test_rejects_inverted_interval(self):
+        r = TraceRecorder()
+        with pytest.raises(ValueError):
+            _mk(r, "a", 5, 3)
+
+    def test_disabled_recorder_drops(self):
+        r = TraceRecorder(enabled=False)
+        _mk(r, "a", 0, 1)
+        assert len(r) == 0
+
+    def test_makespan(self):
+        r = TraceRecorder()
+        assert r.makespan() == 0.0
+        _mk(r, "a", 2, 7)
+        _mk(r, "b", 1, 3)
+        assert r.makespan() == 7
+
+
+class TestBusyTime:
+    def test_merges_overlapping_intervals(self):
+        r = TraceRecorder()
+        _mk(r, "a", 0, 10, dev=1)
+        _mk(r, "b", 5, 15, dev=1)   # overlaps
+        _mk(r, "c", 20, 25, dev=1)  # disjoint
+        assert r.device_busy_time(1) == pytest.approx(20.0)
+
+    def test_per_device_isolation(self):
+        r = TraceRecorder()
+        _mk(r, "a", 0, 10, dev=0)
+        _mk(r, "a", 0, 4, dev=1)
+        assert r.device_busy_time(0) == 10
+        assert r.device_busy_time(1) == 4
+        assert r.device_busy_time(7) == 0
+
+
+class TestOverlap:
+    def test_overlap_seconds(self):
+        r = TraceRecorder()
+        _mk(r, "h2d", 0, 10)
+        _mk(r, "sampling", 5, 20)
+        assert r.overlap_seconds("h2d", "sampling") == pytest.approx(5.0)
+
+    def test_no_overlap(self):
+        r = TraceRecorder()
+        _mk(r, "h2d", 0, 5)
+        _mk(r, "sampling", 5, 10)
+        assert r.overlap_seconds("h2d", "sampling") == 0.0
+
+    def test_multiple_intervals(self):
+        r = TraceRecorder()
+        _mk(r, "a", 0, 2)
+        _mk(r, "a", 4, 6)
+        _mk(r, "b", 1, 5)
+        assert r.overlap_seconds("a", "b") == pytest.approx(2.0)
+
+
+class TestGantt:
+    def test_empty(self):
+        assert "(empty" in TraceRecorder().gantt_text()
+
+    def test_contains_streams_and_marks(self):
+        r = TraceRecorder()
+        _mk(r, "sampling", 0, 8, stream="0.compute")
+        _mk(r, "h2d", 0, 4, stream="0.upload")
+        text = r.gantt_text(width=16)
+        assert "0.compute" in text and "0.upload" in text
+        assert "S" in text and "H" in text
+
+
+class TestInterval:
+    def test_duration(self):
+        iv = Interval(0, "s", "k", "l", 1.0, 3.5)
+        assert iv.duration == 2.5

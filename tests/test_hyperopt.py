@@ -1,0 +1,119 @@
+"""Tests for Minka fixed-point hyperparameter estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hyperopt import optimize_hyperparameters, update_alpha, update_beta
+from repro.core.model import LDAHyperParams, SparseTheta
+
+
+def _theta_from_dense(dense):
+    dense = np.asarray(dense)
+    D, K = dense.shape
+    rows, cols = np.nonzero(dense)
+    indptr = np.zeros(D + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return SparseTheta(indptr, cols.astype(np.int32),
+                       dense[rows, cols].astype(np.int32), K)
+
+
+class TestUpdateAlpha:
+    def test_validation(self):
+        theta = _theta_from_dense([[2, 1]])
+        with pytest.raises(ValueError):
+            update_alpha(theta, np.array([3]), alpha=0.0)
+
+    def test_concentrated_docs_shrink_alpha(self):
+        """Documents that each use a single topic imply a small α."""
+        dense = np.zeros((40, 8), dtype=np.int64)
+        rng = np.random.default_rng(0)
+        for d in range(40):
+            dense[d, rng.integers(0, 8)] = 50
+        theta = _theta_from_dense(dense)
+        lengths = dense.sum(axis=1)
+        a = update_alpha(theta, lengths, alpha=1.0, iterations=20)
+        assert a < 0.2
+
+    def test_uniform_docs_grow_alpha(self):
+        """Documents spread evenly over topics imply a large α."""
+        dense = np.full((40, 8), 10, dtype=np.int64)
+        theta = _theta_from_dense(dense)
+        lengths = dense.sum(axis=1)
+        a = update_alpha(theta, lengths, alpha=0.1, iterations=20)
+        assert a > 1.0
+
+    def test_recovers_generating_alpha(self):
+        """On true Dirichlet-multinomial data the fixed point converges
+        near the generating concentration."""
+        rng = np.random.default_rng(1)
+        true_alpha = 0.3
+        K, D, L = 6, 400, 120
+        dense = np.zeros((D, K), dtype=np.int64)
+        for d in range(D):
+            p = rng.dirichlet(np.full(K, true_alpha))
+            dense[d] = rng.multinomial(L, p)
+        theta = _theta_from_dense(dense)
+        lengths = dense.sum(axis=1)
+        a = update_alpha(theta, lengths, alpha=1.0, iterations=100)
+        assert a == pytest.approx(true_alpha, rel=0.25)
+
+    def test_clamped_on_uniform_data(self):
+        """Exactly uniform documents have an unbounded MLE; the update
+        must clamp instead of diverging."""
+        dense = np.full((20, 4), 25, dtype=np.int64)
+        theta = _theta_from_dense(dense)
+        a = update_alpha(theta, dense.sum(axis=1), alpha=1.0,
+                         iterations=10_000)
+        assert a <= 1e4
+
+
+class TestUpdateBeta:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            update_beta(np.ones((2, 3), dtype=np.int64), beta=-1.0)
+
+    def test_concentrated_topics_shrink_beta(self):
+        phi = np.zeros((4, 100), dtype=np.int64)
+        for k in range(4):
+            phi[k, k * 5 : k * 5 + 5] = 100
+        b = update_beta(phi, beta=0.5, iterations=20)
+        assert b < 0.1
+
+    def test_uniform_topics_grow_beta(self):
+        phi = np.full((4, 50), 20, dtype=np.int64)
+        b = update_beta(phi, beta=0.01, iterations=20)
+        assert b > 0.1
+
+
+class TestJointOptimization:
+    def test_improves_likelihood_on_trained_model(self):
+        """Re-estimated (α, β) must not hurt the joint likelihood of a
+        trained model's counts — the point of empirical Bayes."""
+        from repro.core import CuLDA, TrainConfig
+        from repro.core.likelihood import log_likelihood
+        from repro.corpus.synthetic import SyntheticSpec, generate_lda_corpus
+        from repro.gpusim.platform import pascal_platform
+
+        corpus = generate_lda_corpus(
+            SyntheticSpec(num_docs=120, num_words=200, avg_doc_length=50,
+                          num_topics=4, alpha=0.05),
+            seed=5,
+        )
+        r = CuLDA(corpus, pascal_platform(1),
+                  TrainConfig(num_topics=8, iterations=20, seed=0)).train()
+        before = log_likelihood(
+            r.theta, r.phi, r.phi.sum(axis=1), corpus.doc_lengths, r.hyper
+        )
+        new_hyper = optimize_hyperparameters(
+            r.theta, r.phi, corpus.doc_lengths, r.hyper, iterations=20
+        )
+        after = log_likelihood(
+            r.theta, r.phi, r.phi.sum(axis=1), corpus.doc_lengths, new_hyper
+        )
+        assert after >= before
+        # The generator used a concentrated prior; 50/K = 6.25 is way
+        # too diffuse, and the update should move strongly toward it.
+        assert new_hyper.alpha < r.hyper.alpha

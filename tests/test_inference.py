@@ -1,0 +1,126 @@
+"""Tests for fold-in inference and held-out evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CuLDA, TrainConfig
+from repro.core.inference import (
+    held_out_log_likelihood,
+    infer_documents,
+)
+from repro.core.model import LDAHyperParams
+from repro.corpus.corpus import Corpus
+from repro.corpus.synthetic import SyntheticSpec, generate_lda_corpus
+from repro.gpusim.platform import pascal_platform
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A trained model plus a held-out slice of the same distribution."""
+    spec = SyntheticSpec(num_docs=150, num_words=250, avg_doc_length=60,
+                         num_topics=5, name="ho")
+    full = generate_lda_corpus(spec, seed=31)
+    train = full.slice_docs(0, 120, name="train")
+    held = full.slice_docs(120, 150, name="held")
+    result = CuLDA(
+        train, pascal_platform(1),
+        TrainConfig(num_topics=10, iterations=30, seed=0),
+    ).train()
+    return result, train, held
+
+
+class TestInferDocuments:
+    def test_shapes_and_normalization(self, trained):
+        result, _, held = trained
+        inf = infer_documents(held, result.phi, result.hyper, iterations=10,
+                              seed=1)
+        assert inf.doc_topic.shape == (held.num_docs, 10)
+        assert np.allclose(inf.doc_topic.sum(axis=1), 1.0)
+        assert np.all(inf.doc_topic > 0)
+        assert inf.theta.data.sum() == held.num_tokens
+
+    def test_deterministic(self, trained):
+        result, _, held = trained
+        a = infer_documents(held, result.phi, result.hyper, iterations=6, seed=4)
+        b = infer_documents(held, result.phi, result.hyper, iterations=6, seed=4)
+        assert np.array_equal(a.doc_topic, b.doc_topic)
+
+    def test_more_sweeps_beat_one(self, trained):
+        """Held-out likelihood after proper fold-in exceeds a 1-sweep,
+        no-burn-in estimate."""
+        result, _, held = trained
+        rough = infer_documents(held, result.phi, result.hyper,
+                                iterations=1, burn_in=0, seed=2)
+        good = infer_documents(held, result.phi, result.hyper,
+                               iterations=20, seed=2)
+        assert good.log_likelihood_per_token >= rough.log_likelihood_per_token - 0.05
+
+    def test_trained_model_beats_random_phi(self, trained):
+        """The trained φ must predict held-out data better than a random
+        φ with the same totals — inference end-to-end sanity."""
+        result, _, held = trained
+        good = infer_documents(held, result.phi, result.hyper,
+                               iterations=15, seed=3)
+        rng = np.random.default_rng(0)
+        fake_phi = rng.permutation(result.phi.ravel()).reshape(result.phi.shape)
+        bad = infer_documents(held, fake_phi, result.hyper,
+                              iterations=15, seed=3)
+        assert good.log_likelihood_per_token > bad.log_likelihood_per_token
+
+    def test_validation(self, trained):
+        result, _, held = trained
+        with pytest.raises(ValueError):
+            infer_documents(held, result.phi, result.hyper, iterations=0)
+        with pytest.raises(ValueError):
+            infer_documents(held, result.phi, result.hyper, iterations=5,
+                            burn_in=5)
+        with pytest.raises(ValueError, match="topics"):
+            infer_documents(held, result.phi, LDAHyperParams(num_topics=3))
+
+    def test_vocabulary_too_large_rejected(self, trained):
+        result, *_ = trained
+        big = Corpus.from_documents([[result.phi.shape[1] + 3]],
+                                    num_words=result.phi.shape[1] + 4)
+        with pytest.raises(ValueError, match="vocabulary"):
+            infer_documents(big, result.phi, result.hyper)
+
+    def test_narrower_corpus_accepted(self, trained):
+        """A held-out corpus that only uses a prefix of the vocabulary
+        still works (φ is wider)."""
+        result, *_ = trained
+        small = Corpus.from_documents([[0, 1, 2], [1, 1]], num_words=3)
+        inf = infer_documents(small, result.phi, result.hyper, iterations=4)
+        assert inf.doc_topic.shape[0] == 2
+
+
+class TestHeldOutLikelihood:
+    def test_rejects_empty(self, trained):
+        result, *_ = trained
+        empty = Corpus.from_documents([[]], num_words=2)
+        with pytest.raises(ValueError):
+            held_out_log_likelihood(
+                empty, np.ones((1, 10)) / 10, result.phi,
+                result.phi.sum(axis=1), result.hyper,
+            )
+
+    def test_peaked_mixture_beats_uniform_on_matching_doc(self, trained):
+        result, train, _ = trained
+        hyper = result.hyper
+        phi = result.phi.astype(np.int64)
+        n_k = phi.sum(axis=1)
+        # A document of topic-0's favourite words.
+        top = np.argsort(phi[0])[::-1][:20]
+        doc = Corpus.from_bow(
+            np.zeros(20, dtype=np.int64), top.astype(np.int32),
+            np.ones(20, dtype=np.int64), num_docs=1,
+            num_words=phi.shape[1],
+        )
+        peaked = np.full((1, hyper.num_topics), 1e-6)
+        peaked[0, 0] = 1.0
+        peaked /= peaked.sum()
+        uniform = np.full((1, hyper.num_topics), 1.0 / hyper.num_topics)
+        ll_peak = held_out_log_likelihood(doc, peaked, phi, n_k, hyper)
+        ll_unif = held_out_log_likelihood(doc, uniform, phi, n_k, hyper)
+        assert ll_peak > ll_unif

@@ -1,0 +1,156 @@
+"""Tests for LDA model state: hyperparameters, SparseTheta, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    LDAHyperParams,
+    LDAState,
+    SparseTheta,
+    check_state_invariants,
+)
+
+
+class TestHyperParams:
+    def test_paper_defaults(self):
+        h = LDAHyperParams(num_topics=100)
+        assert h.alpha == pytest.approx(0.5)  # 50/K (paper §2.1)
+        assert h.beta == 0.01
+
+    def test_explicit_alpha(self):
+        h = LDAHyperParams(num_topics=10, alpha=0.3)
+        assert h.alpha == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LDAHyperParams(num_topics=1)
+        with pytest.raises(ValueError):
+            LDAHyperParams(num_topics=4, alpha=-0.5)
+        with pytest.raises(ValueError):
+            LDAHyperParams(num_topics=4, beta=0.0)
+
+    def test_topic_dtype_compression(self):
+        h = LDAHyperParams(num_topics=1024)
+        assert h.topic_dtype(True) == np.uint16
+        assert h.topic_dtype(False) == np.int32
+
+    def test_compression_requires_small_k(self):
+        h = LDAHyperParams(num_topics=70_000)
+        with pytest.raises(ValueError, match="16-bit"):
+            h.topic_dtype(True)
+        assert h.topic_dtype(False) == np.int32
+
+
+class TestSparseTheta:
+    def test_from_assignments_counts(self, tiny_corpus):
+        chunk = tiny_corpus.to_chunk()
+        # Assign all tokens topic 2.
+        topics = np.full(chunk.num_tokens, 2, dtype=np.uint16)
+        theta = SparseTheta.from_assignments(chunk, topics, 8)
+        dense = theta.to_dense()
+        assert np.array_equal(dense[:, 2], tiny_corpus.doc_lengths)
+        assert dense.sum() == tiny_corpus.num_tokens
+        assert theta.nnz == tiny_corpus.num_docs
+
+    def test_from_assignments_mixed(self, tiny_corpus):
+        chunk = tiny_corpus.to_chunk()
+        rng = np.random.default_rng(0)
+        topics = rng.integers(0, 4, chunk.num_tokens).astype(np.uint16)
+        theta = SparseTheta.from_assignments(chunk, topics, 4)
+        # Dense recount must match a brute-force histogram.
+        brute = np.zeros((chunk.num_docs, 4), dtype=np.int64)
+        for pos in range(chunk.num_tokens):
+            brute[chunk.token_doc[pos], topics[pos]] += 1
+        assert np.array_equal(theta.to_dense(), brute)
+
+    def test_row_view(self, tiny_corpus):
+        chunk = tiny_corpus.to_chunk()
+        topics = np.zeros(chunk.num_tokens, dtype=np.uint16)
+        theta = SparseTheta.from_assignments(chunk, topics, 4)
+        t, c = theta.row(0)
+        assert t.tolist() == [0]
+        assert c.tolist() == [4]
+
+    def test_row_lengths_eq5(self, small_corpus):
+        """Eq 5: Σ_k θ_dk = DocLen_d, and K_d <= min(DocLen_d, K)."""
+        chunk = small_corpus.to_chunk()
+        rng = np.random.default_rng(3)
+        K = 16
+        topics = rng.integers(0, K, chunk.num_tokens).astype(np.uint16)
+        theta = SparseTheta.from_assignments(chunk, topics, K)
+        lengths = chunk.doc_lengths
+        kd = theta.row_lengths()
+        assert np.all(kd <= np.minimum(lengths, K))
+        sums = np.zeros(chunk.num_docs, dtype=np.int64)
+        np.add.at(sums, np.repeat(np.arange(chunk.num_docs), kd), theta.data)
+        assert np.array_equal(sums, lengths)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="indptr"):
+            SparseTheta(np.array([1, 2]), np.array([0]), np.array([1]), 4)
+        with pytest.raises(ValueError, match="align"):
+            SparseTheta(np.array([0, 2]), np.array([0, 1]), np.array([1]), 4)
+        with pytest.raises(ValueError, match="out of range"):
+            SparseTheta(np.array([0, 1]), np.array([9]), np.array([1]), 4)
+        with pytest.raises(ValueError, match="positive"):
+            SparseTheta(np.array([0, 1]), np.array([0]), np.array([0]), 4)
+
+    def test_equality(self, tiny_corpus):
+        chunk = tiny_corpus.to_chunk()
+        topics = np.ones(chunk.num_tokens, dtype=np.uint16)
+        a = SparseTheta.from_assignments(chunk, topics, 4)
+        b = SparseTheta.from_assignments(chunk, topics, 4)
+        assert a == b
+        c = SparseTheta.from_assignments(chunk, topics, 8)
+        assert a != c
+
+    def test_compressed_vs_uncompressed_same_content(self, small_corpus):
+        chunk = small_corpus.to_chunk()
+        rng = np.random.default_rng(5)
+        topics = rng.integers(0, 8, chunk.num_tokens)
+        a = SparseTheta.from_assignments(chunk, topics, 8, compressed=True)
+        b = SparseTheta.from_assignments(chunk, topics, 8, compressed=False)
+        assert a.indices.dtype == np.uint16
+        assert b.indices.dtype == np.int32
+        assert a == b  # equality compares values, not dtypes
+
+    def test_nbytes_smaller_when_compressed(self, small_corpus):
+        chunk = small_corpus.to_chunk()
+        rng = np.random.default_rng(5)
+        topics = rng.integers(0, 8, chunk.num_tokens)
+        a = SparseTheta.from_assignments(chunk, topics, 8, compressed=True)
+        b = SparseTheta.from_assignments(chunk, topics, 8, compressed=False)
+        assert a.nbytes < b.nbytes
+
+
+class TestLDAState:
+    def test_initialize_invariants(self, small_corpus, hyper8):
+        state = LDAState.initialize(small_corpus.to_chunk(), hyper8, seed=0)
+        check_state_invariants(state)
+
+    def test_initialize_deterministic(self, small_corpus, hyper8):
+        c = small_corpus.to_chunk()
+        a = LDAState.initialize(c, hyper8, seed=5)
+        b = LDAState.initialize(c, hyper8, seed=5)
+        assert np.array_equal(a.topics, b.topics)
+        assert np.array_equal(a.phi, b.phi)
+
+    def test_invariant_checker_catches_breakage(self, small_corpus, hyper8):
+        state = LDAState.initialize(small_corpus.to_chunk(), hyper8, seed=0)
+        state.phi[0, 0] += 1  # corrupt
+        with pytest.raises(AssertionError):
+            check_state_invariants(state)
+
+    def test_invariant_checker_catches_topic_swap(self, small_corpus, hyper8):
+        state = LDAState.initialize(small_corpus.to_chunk(), hyper8, seed=0)
+        # Change an assignment without updating counts.
+        state.topics = state.topics.copy()
+        state.topics[0] = (int(state.topics[0]) + 1) % hyper8.num_topics
+        with pytest.raises(AssertionError):
+            check_state_invariants(state)
+
+    def test_n_k_totals(self, small_corpus, hyper8):
+        state = LDAState.initialize(small_corpus.to_chunk(), hyper8, seed=1)
+        assert state.n_k.sum() == small_corpus.num_tokens

@@ -1,0 +1,107 @@
+"""Tests for corpus preprocessing (vocabulary pruning, doc filtering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.corpus import Corpus, Vocabulary
+from repro.corpus.preprocess import filter_short_documents, prune_vocabulary
+
+
+@pytest.fixture
+def corpus_with_vocab():
+    vocab = Vocabulary(["the", "cat", "sat", "mat", "rare"]).freeze()
+    docs = [
+        [0, 1, 2, 0],    # the cat sat the
+        [0, 3, 1],       # the mat cat
+        [0, 2, 3],       # the sat mat
+        [0, 4],          # the rare
+    ]
+    return Corpus.from_documents(docs, 5, vocab, name="v")
+
+
+class TestPruneVocabulary:
+    def test_min_doc_frequency(self, corpus_with_vocab):
+        # "rare" (id 4) appears in 1 doc; everything else in >= 2.
+        pruned = prune_vocabulary(corpus_with_vocab, min_doc_frequency=2)
+        assert pruned.num_words == 4
+        assert "rare" not in pruned.vocabulary
+        assert pruned.num_tokens == corpus_with_vocab.num_tokens - 1
+
+    def test_max_doc_fraction(self, corpus_with_vocab):
+        # "the" appears in all 4 docs (fraction 1.0).
+        pruned = prune_vocabulary(corpus_with_vocab, max_doc_fraction=0.9)
+        assert "the" not in pruned.vocabulary
+        assert "cat" in pruned.vocabulary
+
+    def test_stopwords_by_string(self, corpus_with_vocab):
+        pruned = prune_vocabulary(corpus_with_vocab, stopwords=["the", "cat"])
+        assert pruned.num_words == 3
+        assert "the" not in pruned.vocabulary
+
+    def test_stopwords_by_id(self, corpus_with_vocab):
+        pruned = prune_vocabulary(corpus_with_vocab, stopwords=[0])
+        assert "the" not in pruned.vocabulary
+
+    def test_string_stopwords_need_vocab(self, tiny_corpus):
+        with pytest.raises(ValueError, match="vocabulary"):
+            prune_vocabulary(tiny_corpus, stopwords=["x"])
+
+    def test_ids_redensified(self, corpus_with_vocab):
+        pruned = prune_vocabulary(corpus_with_vocab, stopwords=["the"])
+        assert pruned.token_word.max() == pruned.num_words - 1
+        assert pruned.token_word.min() == 0
+
+    def test_word_content_preserved(self, corpus_with_vocab):
+        pruned = prune_vocabulary(corpus_with_vocab, stopwords=["the"])
+        # Doc 0 was "the cat sat the" -> "cat sat".
+        words = [pruned.vocabulary.word_of(int(w)) for w in pruned.document(0)]
+        assert words == ["cat", "sat"]
+
+    def test_empty_documents_kept(self, corpus_with_vocab):
+        pruned = prune_vocabulary(
+            corpus_with_vocab, stopwords=["the", "rare"]
+        )
+        assert pruned.num_docs == corpus_with_vocab.num_docs
+        assert pruned.doc_lengths[3] == 0  # doc 3 lost both words
+
+    def test_validation(self, corpus_with_vocab):
+        with pytest.raises(ValueError):
+            prune_vocabulary(corpus_with_vocab, min_doc_frequency=0)
+        with pytest.raises(ValueError):
+            prune_vocabulary(corpus_with_vocab, max_doc_fraction=0.0)
+
+    def test_works_without_vocab(self, small_corpus):
+        pruned = prune_vocabulary(small_corpus, min_doc_frequency=3)
+        assert pruned.num_words <= small_corpus.num_words
+        assert pruned.vocabulary is None
+
+
+class TestFilterShortDocuments:
+    def test_drops_and_renumbers(self, corpus_with_vocab):
+        filtered = filter_short_documents(corpus_with_vocab, min_length=3)
+        assert filtered.num_docs == 3  # the 2-token doc goes
+        assert filtered.num_tokens == corpus_with_vocab.num_tokens - 2
+        assert list(filtered.document(0)) == [0, 1, 2, 0]
+
+    def test_noop_when_threshold_low(self, corpus_with_vocab):
+        filtered = filter_short_documents(corpus_with_vocab, min_length=1)
+        assert filtered.num_docs == corpus_with_vocab.num_docs
+
+    def test_validation(self, corpus_with_vocab):
+        with pytest.raises(ValueError):
+            filter_short_documents(corpus_with_vocab, min_length=-1)
+
+    def test_pipeline_then_train(self, corpus_with_vocab):
+        """Preprocessing composes with training."""
+        from repro.core import CuLDA, TrainConfig
+        from repro.gpusim.platform import pascal_platform
+
+        pruned = filter_short_documents(
+            prune_vocabulary(corpus_with_vocab, stopwords=["the"]),
+            min_length=1,
+        )
+        r = CuLDA(pruned, pascal_platform(1),
+                  TrainConfig(num_topics=4, iterations=2, seed=0)).train()
+        assert r.phi.sum() == pruned.num_tokens

@@ -1,0 +1,64 @@
+"""Tests for the markdown run-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CuLDA, TrainConfig
+from repro.gpusim.platform import pascal_platform
+from repro.report import render_markdown
+
+
+@pytest.fixture(scope="module")
+def run():
+    from repro.corpus.synthetic import nytimes_like
+
+    corpus = nytimes_like(num_tokens=12_000, num_topics=8, seed=2)
+    machine = pascal_platform(2)
+    result = CuLDA(
+        corpus, machine,
+        TrainConfig(num_topics=8, iterations=6, seed=0, likelihood_every=3),
+    ).train()
+    return corpus, machine, result
+
+
+class TestRenderMarkdown:
+    def test_contains_all_sections(self, run):
+        corpus, machine, result = run
+        md = render_markdown(result, machine)
+        for section in ("# CuLDA_CGS run report", "## Configuration",
+                        "## Outcome", "## Kernel time breakdown",
+                        "## Iteration trace", "## Topics",
+                        "## Timeline"):
+            assert section in md
+
+    def test_metrics_present(self, run):
+        corpus, machine, result = run
+        md = render_markdown(result, machine)
+        assert "M tokens/s" in md
+        assert "energy estimate" in md
+        assert "peak device memory" in md
+        assert f"{result.final_log_likelihood:.4f}" in md
+
+    def test_without_machine_skips_timeline(self, run):
+        corpus, machine, result = run
+        md = render_markdown(result)
+        assert "## Timeline" not in md
+        assert "energy" not in md
+
+    def test_iteration_rows_capped(self, run):
+        corpus, machine, result = run
+        md = render_markdown(result, max_iteration_rows=2)
+        rows = [l for l in md.splitlines() if l.startswith("| ") and
+                l.split("|")[1].strip().isdigit()]
+        assert len(rows) <= 5
+
+    def test_vocabulary_renders_words(self, run):
+        corpus, machine, result = run
+        from repro.corpus.corpus import Vocabulary
+
+        vocab = Vocabulary(
+            f"w{i}" for i in range(corpus.num_words)
+        ).freeze()
+        md = render_markdown(result, vocabulary=vocab, top_words=3)
+        assert "w" in md and "**topic" in md

@@ -1,0 +1,89 @@
+"""Tests for model checkpointing (save/load)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CuLDA, TrainConfig
+from repro.core.serialization import load_model, save_model
+from repro.gpusim.platform import pascal_platform
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.corpus.synthetic import nytimes_like
+
+    corpus = nytimes_like(num_tokens=15_000, num_topics=8, seed=9)
+    return CuLDA(
+        corpus, pascal_platform(1),
+        TrainConfig(num_topics=12, iterations=4, seed=0),
+    ).train()
+
+
+class TestRoundTrip:
+    def test_phi_theta_exact(self, result, tmp_path):
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        ckpt = load_model(p)
+        assert np.array_equal(ckpt.phi, result.phi)
+        assert ckpt.theta == result.theta
+        assert ckpt.hyper == result.hyper
+        assert ckpt.corpus_name == result.corpus_name
+        assert ckpt.num_topics == 12
+        assert ckpt.num_words == result.phi.shape[1]
+
+    def test_checkpoint_usable_for_inference(self, result, tmp_path):
+        from repro.core.inference import infer_documents
+        from repro.corpus.corpus import Corpus
+
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        ckpt = load_model(p)
+        doc = Corpus.from_documents([[0, 1, 2, 3, 1]], num_words=5)
+        inf = infer_documents(doc, ckpt.phi, ckpt.hyper, iterations=3)
+        assert np.allclose(inf.doc_topic.sum(axis=1), 1.0)
+
+    def test_missing_field_rejected(self, tmp_path):
+        p = tmp_path / "bad.npz"
+        np.savez(p, format_version=np.int64(1), phi=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="malformed"):
+            load_model(p)
+
+    def test_wrong_version_rejected(self, result, tmp_path):
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        # Rewrite with a bumped version.
+        with np.load(p) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["format_version"] = np.int64(99)
+        np.savez(p, **fields)
+        with pytest.raises(ValueError, match="version"):
+            load_model(p)
+
+
+class TestVocabularyPersistence:
+    def test_vocab_round_trip(self, result, tmp_path):
+        from repro.corpus.corpus import Vocabulary
+
+        V = result.phi.shape[1]
+        vocab = Vocabulary(f"word{i}" for i in range(V)).freeze()
+        p = tmp_path / "model_v.npz"
+        save_model(result, p, vocabulary=vocab)
+        ckpt = load_model(p)
+        assert ckpt.vocabulary is not None
+        assert len(ckpt.vocabulary) == V
+        assert ckpt.vocabulary.word_of(3) == "word3"
+        assert ckpt.vocabulary.frozen
+
+    def test_vocab_size_mismatch_rejected(self, result, tmp_path):
+        from repro.corpus.corpus import Vocabulary
+
+        bad = Vocabulary(["just-one"]).freeze()
+        with pytest.raises(ValueError, match="vocabulary"):
+            save_model(result, tmp_path / "x.npz", vocabulary=bad)
+
+    def test_vocab_absent_by_default(self, result, tmp_path):
+        p = tmp_path / "model_nv.npz"
+        save_model(result, p)
+        assert load_model(p).vocabulary is None

@@ -1,0 +1,97 @@
+"""Tests for train/test split utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.split import split_document_completion, split_documents
+
+
+class TestSplitDocuments:
+    def test_partitions_documents(self, medium_corpus):
+        train, test = split_documents(medium_corpus, test_fraction=0.25, seed=0)
+        assert train.num_docs + test.num_docs == medium_corpus.num_docs
+        assert train.num_tokens + test.num_tokens == medium_corpus.num_tokens
+        assert test.num_docs == round(medium_corpus.num_docs * 0.25)
+        assert train.num_words == medium_corpus.num_words
+
+    def test_deterministic(self, medium_corpus):
+        a = split_documents(medium_corpus, 0.2, seed=3)
+        b = split_documents(medium_corpus, 0.2, seed=3)
+        assert np.array_equal(a[0].token_word, b[0].token_word)
+
+    def test_seed_changes_split(self, medium_corpus):
+        a, _ = split_documents(medium_corpus, 0.2, seed=1)
+        b, _ = split_documents(medium_corpus, 0.2, seed=2)
+        assert not np.array_equal(a.token_word, b.token_word)
+
+    def test_validation(self, medium_corpus):
+        with pytest.raises(ValueError):
+            split_documents(medium_corpus, 0.0)
+        with pytest.raises(ValueError):
+            split_documents(medium_corpus, 1.0)
+
+
+class TestDocumentCompletion:
+    def test_same_documents_both_sides(self, medium_corpus):
+        obs, held = split_document_completion(medium_corpus, 0.5, seed=0)
+        assert obs.num_docs == held.num_docs == medium_corpus.num_docs
+        assert obs.num_tokens + held.num_tokens == medium_corpus.num_tokens
+
+    def test_per_document_token_multiset_preserved(self, medium_corpus):
+        obs, held = split_document_completion(medium_corpus, 0.5, seed=0)
+        for d in range(0, medium_corpus.num_docs, 17):
+            combined = sorted(
+                obs.document(d).tolist() + held.document(d).tolist()
+            )
+            assert combined == sorted(medium_corpus.document(d).tolist())
+
+    def test_every_long_doc_has_both_sides(self, medium_corpus):
+        obs, held = split_document_completion(medium_corpus, 0.5, seed=0)
+        long_docs = medium_corpus.doc_lengths >= 2
+        assert np.all(obs.doc_lengths[long_docs] >= 1)
+        assert np.all(held.doc_lengths[long_docs] >= 1)
+
+    def test_single_token_doc_goes_observed(self):
+        from repro.corpus.corpus import Corpus
+
+        c = Corpus.from_documents([[1], [0, 1, 0, 1]], num_words=2)
+        obs, held = split_document_completion(c, 0.5, seed=0)
+        assert obs.doc_lengths[0] == 1
+        assert held.doc_lengths[0] == 0
+
+    def test_fraction_respected(self, medium_corpus):
+        obs, held = split_document_completion(medium_corpus, 0.75, seed=0)
+        frac = obs.num_tokens / medium_corpus.num_tokens
+        assert 0.70 < frac < 0.80
+
+    def test_validation(self, medium_corpus):
+        with pytest.raises(ValueError):
+            split_document_completion(medium_corpus, 1.0)
+
+    def test_completion_evaluation_pipeline(self, medium_corpus):
+        """Observed half infers θ; held-out half is scored — the
+        document-completion protocol end-to-end."""
+        from repro.core import CuLDA, TrainConfig
+        from repro.core.inference import held_out_log_likelihood, infer_documents
+        from repro.corpus.split import split_documents
+        from repro.gpusim.platform import pascal_platform
+
+        train, test = split_documents(medium_corpus, 0.3, seed=0)
+        result = CuLDA(train, pascal_platform(1),
+                       TrainConfig(num_topics=8, iterations=10, seed=0)).train()
+        obs, held = split_document_completion(test, 0.5, seed=0)
+        inf = infer_documents(obs, result.phi, result.hyper, iterations=8)
+        phi64 = result.phi.astype(np.int64)
+        ll = held_out_log_likelihood(
+            held, inf.doc_topic, phi64, phi64.sum(axis=1), result.hyper
+        )
+        assert np.isfinite(ll)
+        # Inferred mixtures beat uniform mixtures on the held-out half.
+        K = result.hyper.num_topics
+        uniform = np.full_like(inf.doc_topic, 1.0 / K)
+        ll_uniform = held_out_log_likelihood(
+            held, uniform, phi64, phi64.sum(axis=1), result.hyper
+        )
+        assert ll > ll_uniform

@@ -1,0 +1,76 @@
+"""Tests for topic quality metrics (coherence, diversity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.topics import (
+    top_words_per_topic,
+    topic_diversity,
+    umass_coherence,
+)
+from repro.corpus.corpus import Corpus
+
+
+class TestTopWords:
+    def test_orders_by_count(self):
+        phi = np.array([[5, 1, 9, 0], [0, 7, 1, 2]])
+        tops = top_words_per_topic(phi, n=2)
+        assert tops[0].tolist() == [2, 0]
+        assert tops[1].tolist() == [1, 3]
+
+    def test_validation(self):
+        phi = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            top_words_per_topic(phi, n=0)
+        with pytest.raises(ValueError):
+            top_words_per_topic(phi, n=9)
+
+
+class TestDiversity:
+    def test_disjoint_topics_score_one(self):
+        phi = np.eye(4) * 10 + 0.0
+        assert topic_diversity(phi, top_n=1) == 1.0
+
+    def test_identical_topics_score_low(self):
+        phi = np.tile(np.array([9.0, 5.0, 1.0, 0.0]), (4, 1))
+        assert topic_diversity(phi, top_n=2) == pytest.approx(2 / 8)
+
+
+class TestCoherence:
+    def _corpus_with_cooccurring_pairs(self):
+        # Words 0,1 always co-occur; words 2,3 never do.
+        docs = [[0, 1]] * 20 + [[2]] * 10 + [[3]] * 10
+        return Corpus.from_documents(docs, num_words=4)
+
+    def test_cooccurring_topic_more_coherent(self):
+        corpus = self._corpus_with_cooccurring_pairs()
+        phi = np.array(
+            [
+                [10, 10, 0, 0],  # topic of co-occurring words
+                [0, 0, 10, 10],  # topic of never-co-occurring words
+            ]
+        )
+        scores = umass_coherence(phi, corpus, top_n=2)
+        assert scores[0] > scores[1]
+
+    def test_trained_model_beats_shuffled(self):
+        """End-to-end: a trained model's topics are more coherent than a
+        label-shuffled φ on the training corpus."""
+        from repro.core import CuLDA, TrainConfig
+        from repro.corpus.synthetic import SyntheticSpec, generate_lda_corpus
+        from repro.gpusim.platform import pascal_platform
+
+        corpus = generate_lda_corpus(
+            SyntheticSpec(num_docs=200, num_words=120, avg_doc_length=40,
+                          num_topics=4, alpha=0.05),
+            seed=17,
+        )
+        r = CuLDA(corpus, pascal_platform(1),
+                  TrainConfig(num_topics=8, iterations=25, seed=0)).train()
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(r.phi.ravel()).reshape(r.phi.shape)
+        good = umass_coherence(r.phi, corpus, top_n=6).mean()
+        bad = umass_coherence(shuffled, corpus, top_n=6).mean()
+        assert good > bad
