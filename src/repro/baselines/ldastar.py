@@ -20,7 +20,6 @@ This implementation is a working system on the simulated substrate:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +42,8 @@ from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.platform import CPU_E5_2690V4
 from repro.sched.partition import partition_by_tokens
+from repro.telemetry.mixin import TelemetryMixin
+from repro.telemetry.spans import span
 
 __all__ = ["LDAStar", "LDAStarResult"]
 
@@ -106,7 +107,7 @@ class _Worker:
         self.local_counts = accumulate_phi(chunk, self.topics, hyper.num_topics)
 
 
-class LDAStar:
+class LDAStar(TelemetryMixin):
     """The parameter-server distributed LDA trainer.
 
     Parameters
@@ -134,7 +135,10 @@ class LDAStar:
         link_gbps: float = 1.25,
         staleness: int = 0,
         seed: int = 0,
+        callbacks=None,
+        registry=None,
     ):
+        self._telemetry_init(callbacks, registry)
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if staleness < 0:
@@ -186,93 +190,132 @@ class LDAStar:
         )
         return self._cost_model.kernel_seconds(self.cpu_spec, cost)
 
-    def train(self, iterations: int = 50, likelihood_every: int = 0) -> LDAStarResult:
-        wall0 = time.perf_counter()
+    def train(
+        self, iterations: int = 50, likelihood_every: int = 0, callbacks=None
+    ) -> LDAStarResult:
+        with self._telemetry_run(callbacks):
+            return self._train_impl(iterations, likelihood_every)
+
+    def _train_impl(self, iterations: int, likelihood_every: int) -> LDAStarResult:
         history: list[LDAStarIteration] = []
         clock = 0.0
-        K, V = self.hyper.num_topics, self.corpus.num_words
-        for it in range(iterations):
-            worker_done = []
-            net_time = 0.0
-            cmp_time = 0.0
-            sync_round = (it % (self.staleness + 1)) == 0
-            n_k = self.server.n_k
-            for w in self.workers:
-                if w.worker_id not in self._pending_delta:
-                    self._pending_delta[w.worker_id] = np.zeros(
-                        (K, w.words.size), dtype=np.int64
-                    )
-                if sync_round or w.worker_id not in self._phi_cache:
-                    phi_slice, t_pull = self.server.pull(
-                        w.worker_id, w.words, clock
-                    )
-                    # Worker-local φ view (zeros for absent words — its
-                    # tokens never touch those columns). The pull happens
-                    # before this round's push, so the view excludes the
-                    # worker's still-pending deltas; re-apply them to keep
-                    # its own updates visible (read-your-writes).
-                    phi_local = np.zeros((K, V), dtype=np.int64)
-                    phi_local[:, w.words] = phi_slice
-                    phi_local[:, w.words] += self._pending_delta[w.worker_id]
-                    self._phi_cache[w.worker_id] = phi_local
-                else:
-                    phi_local = self._phi_cache[w.worker_id]
-                    t_pull = clock
-                new_topics, _ = gibbs_sample_chunk(
-                    w.chunk, w.topics, w.theta, phi_local, n_k,
-                    self.hyper, w.rng, self._config,
+        K = self.hyper.num_topics
+        self._fire(
+            "on_train_start",
+            {
+                "corpus": self.corpus.name,
+                "machine": f"{len(self.workers)}x {self.cpu_spec.name}",
+                "num_tokens": self.corpus.num_tokens,
+                "num_topics": K,
+                "iterations_planned": iterations,
+            },
+        )
+        with span("train:ldastar") as sp:
+            for it in range(iterations):
+                prev_clock = clock
+                clock, net_time, cmp_time = self._iterate_once(it, clock)
+                dt = clock - prev_clock
+                ll = None
+                if (likelihood_every and (it + 1) % likelihood_every == 0) or (
+                    it == iterations - 1
+                ):
+                    ll = self.log_likelihood_per_token()
+                tps = self.corpus.num_tokens / dt if dt > 0 else 0.0
+                history.append(
+                    LDAStarIteration(it, dt, tps, net_time, cmp_time, ll)
                 )
-                w.topics = new_topics
-                w.theta = recount_theta(w.chunk, new_topics, K, compressed=False)
-                new_counts = accumulate_phi(w.chunk, new_topics, K)
-                delta = (
-                    new_counts.astype(np.int64) - w.local_counts.astype(np.int64)
-                )[:, w.words]
-                w.local_counts = new_counts
-                # The worker always sees its own updates immediately.
-                phi_local[:, w.words] += delta
-                self._pending_delta[w.worker_id] += delta
-                t_cmp = self._compute_seconds(w)
-                if sync_round:
-                    t_push = self.server.push(
-                        w.worker_id, w.words,
-                        self._pending_delta[w.worker_id],
-                        t_pull + t_cmp,
-                    )
-                    self._pending_delta[w.worker_id][...] = 0
-                else:
-                    t_push = t_pull + t_cmp
-                worker_done.append(t_push)
-                net_time = max(net_time, (t_pull - clock) + (t_push - t_pull - t_cmp))
-                cmp_time = max(cmp_time, t_cmp)
-            new_clock = max(worker_done)
-            dt = new_clock - clock
-            clock = new_clock
-            ll = None
-            if (likelihood_every and (it + 1) % likelihood_every == 0) or (
-                it == iterations - 1
-            ):
-                ll = self.log_likelihood_per_token()
-            history.append(
-                LDAStarIteration(
-                    it,
-                    dt,
-                    self.corpus.num_tokens / dt if dt > 0 else 0.0,
-                    net_time,
-                    cmp_time,
-                    ll,
+                self._fire(
+                    "on_iteration_end",
+                    {
+                        "iteration": it,
+                        "sim_seconds": dt,
+                        "tokens_per_sec": tps,
+                        "network_seconds": net_time,
+                        "compute_seconds": cmp_time,
+                        "log_likelihood_per_token": ll,
+                    },
                 )
-            )
-        return LDAStarResult(
+        result = LDAStarResult(
             corpus_name=self.corpus.name,
             num_workers=len(self.workers),
             iterations=history,
             total_sim_seconds=clock,
-            wall_seconds=time.perf_counter() - wall0,
+            wall_seconds=sp.duration,
             network_bytes=self.network.total_bytes(),
             phi=self.server.phi.astype(np.int32),
             hyper=self.hyper,
         )
+        self._fire(
+            "on_train_end",
+            {
+                "iterations": len(history),
+                "total_sim_seconds": clock,
+                "wall_seconds": result.wall_seconds,
+                "avg_tokens_per_sec": result.avg_tokens_per_sec,
+                "network_bytes": result.network_bytes,
+                "result": result,
+            },
+        )
+        return result
+
+    def _iterate_once(self, it: int, clock: float) -> tuple[float, float, float]:
+        """One synchronous parameter-server round; returns the advanced
+        cluster clock and the round's (network, compute) critical paths."""
+        K, V = self.hyper.num_topics, self.corpus.num_words
+        worker_done = []
+        net_time = 0.0
+        cmp_time = 0.0
+        sync_round = (it % (self.staleness + 1)) == 0
+        n_k = self.server.n_k
+        for w in self.workers:
+            if w.worker_id not in self._pending_delta:
+                self._pending_delta[w.worker_id] = np.zeros(
+                    (K, w.words.size), dtype=np.int64
+                )
+            if sync_round or w.worker_id not in self._phi_cache:
+                phi_slice, t_pull = self.server.pull(
+                    w.worker_id, w.words, clock
+                )
+                # Worker-local φ view (zeros for absent words — its
+                # tokens never touch those columns). The pull happens
+                # before this round's push, so the view excludes the
+                # worker's still-pending deltas; re-apply them to keep
+                # its own updates visible (read-your-writes).
+                phi_local = np.zeros((K, V), dtype=np.int64)
+                phi_local[:, w.words] = phi_slice
+                phi_local[:, w.words] += self._pending_delta[w.worker_id]
+                self._phi_cache[w.worker_id] = phi_local
+            else:
+                phi_local = self._phi_cache[w.worker_id]
+                t_pull = clock
+            new_topics, _ = gibbs_sample_chunk(
+                w.chunk, w.topics, w.theta, phi_local, n_k,
+                self.hyper, w.rng, self._config,
+            )
+            w.topics = new_topics
+            w.theta = recount_theta(w.chunk, new_topics, K, compressed=False)
+            new_counts = accumulate_phi(w.chunk, new_topics, K)
+            delta = (
+                new_counts.astype(np.int64) - w.local_counts.astype(np.int64)
+            )[:, w.words]
+            w.local_counts = new_counts
+            # The worker always sees its own updates immediately.
+            phi_local[:, w.words] += delta
+            self._pending_delta[w.worker_id] += delta
+            t_cmp = self._compute_seconds(w)
+            if sync_round:
+                t_push = self.server.push(
+                    w.worker_id, w.words,
+                    self._pending_delta[w.worker_id],
+                    t_pull + t_cmp,
+                )
+                self._pending_delta[w.worker_id][...] = 0
+            else:
+                t_push = t_pull + t_cmp
+            worker_done.append(t_push)
+            net_time = max(net_time, (t_pull - clock) + (t_push - t_pull - t_cmp))
+            cmp_time = max(cmp_time, t_cmp)
+        return max(worker_done), net_time, cmp_time
 
     def log_likelihood_per_token(self) -> float:
         phi = self.server.phi

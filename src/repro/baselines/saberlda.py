@@ -35,6 +35,8 @@ class SaberLDA:
         corpus: Corpus,
         machine: Machine | None = None,
         config: TrainConfig | None = None,
+        callbacks=None,
+        registry=None,
     ):
         machine = machine or pascal_platform(1)
         if len(machine.gpus) != 1:
@@ -46,7 +48,17 @@ class SaberLDA:
             reuse_pstar=False,
             compressed=False,
         )
-        self._trainer = CuLDA(corpus, machine, self.config)
+        self._trainer = CuLDA(
+            corpus, machine, self.config, callbacks=callbacks, registry=registry
+        )
 
-    def train(self) -> TrainResult:
-        return self._trainer.train()
+    @property
+    def registry(self):
+        """The inner trainer's metrics registry (populated by train())."""
+        return self._trainer.registry
+
+    def add_callback(self, cb) -> None:
+        self._trainer.add_callback(cb)
+
+    def train(self, callbacks=None) -> TrainResult:
+        return self._trainer.train(callbacks)

@@ -20,13 +20,14 @@ within each document.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.model import LDAHyperParams
 from repro.corpus.corpus import Corpus
+from repro.telemetry.mixin import TelemetryMixin
+from repro.telemetry.spans import span
 
 __all__ = ["SCVB0", "SCVB0Result"]
 
@@ -54,7 +55,7 @@ class SCVB0Result:
         return None
 
 
-class SCVB0:
+class SCVB0(TelemetryMixin):
     """Stochastic collapsed variational Bayes zero for LDA.
 
     Parameters
@@ -76,7 +77,10 @@ class SCVB0:
         tau: float = 10.0,
         kappa: float = 0.7,
         doc_burn_in: int = 2,
+        callbacks=None,
+        registry=None,
     ):
+        self._telemetry_init(callbacks, registry)
         if not 0.5 < kappa <= 1.0:
             raise ValueError("kappa must lie in (0.5, 1] for convergence")
         if tau <= 0 or doc_burn_in < 0:
@@ -161,23 +165,50 @@ class SCVB0:
         return total / self.corpus.num_tokens
 
     def train(
-        self, iterations: int = 20, likelihood_every: int = 0
+        self, iterations: int = 20, likelihood_every: int = 0, callbacks=None
     ) -> SCVB0Result:
-        wall0 = time.perf_counter()
+        with self._telemetry_run(callbacks):
+            return self._train_impl(iterations, likelihood_every)
+
+    def _train_impl(self, iterations: int, likelihood_every: int) -> SCVB0Result:
+        self._fire(
+            "on_train_start",
+            {
+                "corpus": self.corpus.name,
+                "num_tokens": self.corpus.num_tokens,
+                "num_topics": self.hyper.num_topics,
+                "iterations_planned": iterations,
+            },
+        )
         history: list[SCVB0Iteration] = []
-        for it in range(iterations):
-            self.iterate(1)
-            ll = None
-            if (likelihood_every and (it + 1) % likelihood_every == 0) or (
-                it == iterations - 1
-            ):
-                ll = self.log_likelihood_per_token()
-            history.append(SCVB0Iteration(it, ll))
-        return SCVB0Result(
+        with span("train:scvb0") as sp:
+            for it in range(iterations):
+                self.iterate(1)
+                ll = None
+                if (likelihood_every and (it + 1) % likelihood_every == 0) or (
+                    it == iterations - 1
+                ):
+                    ll = self.log_likelihood_per_token()
+                history.append(SCVB0Iteration(it, ll))
+                self._fire(
+                    "on_iteration_end",
+                    {"iteration": it, "log_likelihood_per_token": ll},
+                )
+        result = SCVB0Result(
             corpus_name=self.corpus.name,
             iterations=history,
-            wall_seconds=time.perf_counter() - wall0,
+            wall_seconds=sp.duration,
             n_phi=self.n_phi.copy(),
             n_theta=self.n_theta.copy(),
             hyper=self.hyper,
         )
+        self._fire(
+            "on_train_end",
+            {
+                "iterations": len(history),
+                "wall_seconds": result.wall_seconds,
+                "log_likelihood_per_token": result.final_log_likelihood,
+                "result": result,
+            },
+        )
+        return result

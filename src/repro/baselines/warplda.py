@@ -24,7 +24,6 @@ tokens/s on NYTimes, 93.5 M on PubMed).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +34,8 @@ from repro.core.model import LDAHyperParams, SparseTheta
 from repro.gpusim.costmodel import KernelCost
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.platform import CPU_E5_2690V4
+from repro.telemetry.mixin import TelemetryMixin
+from repro.telemetry.spans import span
 
 __all__ = ["WarpLDA", "WarpLDAResult", "warplda_iteration_cost"]
 
@@ -101,7 +102,7 @@ class WarpLDAResult:
         return None
 
 
-class WarpLDA:
+class WarpLDA(TelemetryMixin):
     """The MCEM/MH CPU trainer.
 
     Parameters
@@ -110,6 +111,8 @@ class WarpLDA:
     hyper: hyperparameters.
     cpu_spec: host processor model (defaults to the paper's E5-2690 v4).
     seed: RNG seed.
+    callbacks / registry: telemetry hooks and metrics sink (see
+        ``docs/OBSERVABILITY.md``); the same protocol CuLDA speaks.
     """
 
     def __init__(
@@ -118,7 +121,10 @@ class WarpLDA:
         hyper: LDAHyperParams,
         cpu_spec: DeviceSpec = CPU_E5_2690V4,
         seed: int = 0,
+        callbacks=None,
+        registry=None,
     ):
+        self._telemetry_init(callbacks, registry)
         self.corpus = corpus
         self.hyper = hyper
         self.cpu_spec = cpu_spec
@@ -197,10 +203,13 @@ class WarpLDA:
 
     # ------------------------------------------------------------------
     def train(
-        self, iterations: int = 100, likelihood_every: int = 0
+        self, iterations: int = 100, likelihood_every: int = 0, callbacks=None
     ) -> WarpLDAResult:
         """Run MCEM iterations; returns simulated-CPU-timed results."""
-        wall0 = time.perf_counter()
+        with self._telemetry_run(callbacks):
+            return self._train_impl(iterations, likelihood_every)
+
+    def _train_impl(self, iterations: int, likelihood_every: int) -> WarpLDAResult:
         from repro.gpusim.costmodel import CostModel
 
         cm = CostModel()
@@ -211,32 +220,63 @@ class WarpLDA:
             self.corpus.num_tokens / max(1, self.corpus.num_docs),
         )
         dt = cm.kernel_seconds(self.cpu_spec, cost)
+        self._fire(
+            "on_train_start",
+            {
+                "corpus": self.corpus.name,
+                "machine": self.cpu_spec.name,
+                "num_tokens": self.corpus.num_tokens,
+                "num_topics": self.hyper.num_topics,
+                "iterations_planned": iterations,
+            },
+        )
         history: list[WarpLDAIteration] = []
         sim_t = 0.0
-        for it in range(iterations):
-            self._doc_phase()
-            self._word_phase()
-            self._rebuild_counts()
-            sim_t += dt
-            ll = None
-            if (likelihood_every and (it + 1) % likelihood_every == 0) or (
-                it == iterations - 1
-            ):
-                ll = self.log_likelihood_per_token()
-            history.append(
-                WarpLDAIteration(
-                    it, dt, self.corpus.num_tokens / dt, ll
+        with span("train:warplda") as sp:
+            for it in range(iterations):
+                self._doc_phase()
+                self._word_phase()
+                self._rebuild_counts()
+                sim_t += dt
+                ll = None
+                if (likelihood_every and (it + 1) % likelihood_every == 0) or (
+                    it == iterations - 1
+                ):
+                    ll = self.log_likelihood_per_token()
+                history.append(
+                    WarpLDAIteration(
+                        it, dt, self.corpus.num_tokens / dt, ll
+                    )
                 )
-            )
-        return WarpLDAResult(
+                self._fire(
+                    "on_iteration_end",
+                    {
+                        "iteration": it,
+                        "sim_seconds": dt,
+                        "tokens_per_sec": self.corpus.num_tokens / dt,
+                        "log_likelihood_per_token": ll,
+                    },
+                )
+        result = WarpLDAResult(
             corpus_name=self.corpus.name,
             cpu_name=self.cpu_spec.name,
             iterations=history,
             total_sim_seconds=sim_t,
-            wall_seconds=time.perf_counter() - wall0,
+            wall_seconds=sp.duration,
             phi=self.phi.astype(np.int32),
             hyper=self.hyper,
         )
+        self._fire(
+            "on_train_end",
+            {
+                "iterations": len(history),
+                "total_sim_seconds": sim_t,
+                "wall_seconds": result.wall_seconds,
+                "avg_tokens_per_sec": result.avg_tokens_per_sec,
+                "result": result,
+            },
+        )
+        return result
 
     def log_likelihood_per_token(self) -> float:
         D, K = self.theta.shape

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     repro-lda train    # train CuLDA_CGS on a UCI file or synthetic twin
     repro-lda infer    # fold new documents into a saved model
     repro-lda project  # print a paper artifact (table4/table5/fig7/fig9)
+    repro-lda profile  # instrumented run: breakdown, Gantt, counters
 
 Examples
 --------
@@ -14,6 +15,8 @@ Examples
         --iterations 30 --platform pascal --gpus 2 --save model.npz
     repro-lda infer --model model.npz --synthetic nytimes --tokens 5000
     repro-lda project table4
+    repro-lda profile --platform volta --gpus 4 --iterations 5 \
+        --trace out.json --metrics out.prom --events out.jsonl
 """
 
 from __future__ import annotations
@@ -37,11 +40,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_corpus_args(p: argparse.ArgumentParser) -> None:
-        src = p.add_mutually_exclusive_group(required=True)
+    def add_corpus_args(
+        p: argparse.ArgumentParser, required: bool = True
+    ) -> None:
+        src = p.add_mutually_exclusive_group(required=required)
         src.add_argument("--uci", metavar="DOCWORD",
                          help="UCI bag-of-words file (docword.*.txt[.gz])")
         src.add_argument("--synthetic", choices=("nytimes", "pubmed"),
+                         default=None if required else "nytimes",
                          help="generate a synthetic twin corpus")
         p.add_argument("--vocab", metavar="FILE",
                        help="UCI vocab file (with --uci)")
@@ -70,6 +76,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_corpus_args(i)
     i.add_argument("--model", required=True, help="checkpoint from train --save")
     i.add_argument("--iterations", type=int, default=20)
+
+    pr = sub.add_parser(
+        "profile",
+        help="instrumented training run: time breakdown, per-device "
+        "Gantt, top counters, optional trace/metrics/event dumps",
+    )
+    add_corpus_args(pr, required=False)
+    pr.add_argument("--topics", type=int, default=64, help="K")
+    pr.add_argument("--iterations", type=int, default=5)
+    pr.add_argument("--platform", choices=PLATFORMS, default="volta")
+    pr.add_argument("--gpus", type=int, default=1)
+    pr.add_argument("--sync", choices=("gpu_tree", "ring", "cpu_gather"),
+                    default="gpu_tree")
+    pr.add_argument("--likelihood-every", type=int, default=0)
+    pr.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome/Perfetto trace (chrome://tracing)")
+    pr.add_argument("--metrics", metavar="FILE",
+                    help="write a Prometheus text-format metrics snapshot")
+    pr.add_argument("--events", metavar="FILE",
+                    help="stream the training events as JSONL")
+    pr.add_argument("--top", type=int, default=12,
+                    help="counter rows to print")
 
     p = sub.add_parser("project", help="print a paper artifact")
     p.add_argument("artifact", choices=("table1", "table4", "table5",
@@ -107,9 +135,11 @@ def _machine(platform: str, gpus: int):
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core import CuLDA, TrainConfig, save_model
+    from repro.telemetry import MetricsRegistry
 
     corpus = _load_corpus(args)
     machine = _machine(args.platform, args.gpus)
+    registry = MetricsRegistry()
     result = CuLDA(
         corpus,
         machine=machine,
@@ -121,6 +151,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             sync_algorithm=args.sync,
             likelihood_every=args.likelihood_every,
         ),
+        registry=registry,
     ).train()
     print(result.summary())
     if args.top_words:
@@ -138,8 +169,88 @@ def _cmd_train(args: argparse.Namespace) -> int:
         from repro.report import render_markdown
 
         with open(args.report, "w") as fh:
-            fh.write(render_markdown(result, machine, corpus.vocabulary))
+            fh.write(
+                render_markdown(
+                    result, machine, corpus.vocabulary, registry=registry
+                )
+            )
         print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core import CuLDA, TrainConfig
+    from repro.core.culda import BREAKDOWN_KINDS, _busy_fractions
+    from repro.gpusim.platform import make_machine
+    from repro.telemetry import JSONLEmitter, MetricsRegistry
+    from repro.telemetry.exporters import merged_chrome_json, to_prometheus
+
+    corpus = _load_corpus(args)
+    machine = make_machine(args.platform, args.gpus)
+    registry = MetricsRegistry()
+    callbacks = [JSONLEmitter(args.events)] if args.events else []
+    trainer = CuLDA(
+        corpus,
+        machine=machine,
+        config=TrainConfig(
+            num_topics=args.topics,
+            iterations=args.iterations,
+            seed=args.seed,
+            sync_algorithm=args.sync,
+            likelihood_every=args.likelihood_every,
+        ),
+        callbacks=callbacks,
+        registry=registry,
+    )
+    result = trainer.train()
+
+    print(f"profile: {corpus.name} on {machine.name}, "
+          f"K={args.topics}, {len(result.iterations)} iteration(s)")
+    print(f"simulated time {result.total_sim_seconds * 1e3:.3f} ms, "
+          f"throughput {result.avg_tokens_per_sec / 1e6:.1f} M tokens/s, "
+          f"wall {result.wall_seconds:.2f} s")
+    print()
+
+    print("time breakdown (simulated clock):")
+    breakdown = machine.trace.breakdown_fractions(BREAKDOWN_KINDS)
+    for kind in BREAKDOWN_KINDS:
+        share = breakdown.get(kind, 0.0)
+        if share > 0:
+            print(f"  {kind:<14s} {share * 100:5.1f}%")
+    print()
+
+    t1 = machine.trace.makespan()
+    busy = _busy_fractions(
+        machine.trace.intervals,
+        [g.device_id for g in machine.gpus],
+        0.0,
+        t1,
+    )
+    print("device busy fractions:")
+    for dev in sorted(busy):
+        print(f"  gpu{dev}  {busy[dev]:.1%}")
+    print()
+
+    print(f"top counters (of {len(registry)} metric families):")
+    for s in registry.top_counters(args.top):
+        label_s = ",".join(f"{k}={v}" for k, v in sorted(s.labels.items()))
+        name = f"{s.name}{{{label_s}}}" if label_s else s.name
+        print(f"  {name:<56s} {s.value:>14,.0f}")
+    print()
+
+    print("timeline (text Gantt):")
+    print(machine.trace.gantt_text(width=80))
+
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(merged_chrome_json(machine.trace, trainer.host_trace))
+        print(f"chrome trace written to {args.trace}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(to_prometheus(registry))
+        print(f"prometheus metrics written to {args.metrics}")
+    if args.events:
+        print(f"event stream written to {args.events}")
     return 0
 
 
@@ -210,6 +321,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "infer":
         return _cmd_infer(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return _cmd_project(args)
 
 

@@ -46,8 +46,24 @@ from repro.sched.schedule import (
     run_iteration_streaming,
     upload_chunk,
 )
+from repro.telemetry.context import emit_gauge, emit_observe
+from repro.telemetry.mixin import TelemetryMixin
+from repro.telemetry.spans import span
 
-__all__ = ["TrainConfig", "IterationStats", "TrainResult", "CuLDA"]
+__all__ = [
+    "TrainConfig",
+    "IterationStats",
+    "TrainResult",
+    "CuLDA",
+    "BREAKDOWN_KINDS",
+]
+
+#: The operation kinds a training timeline decomposes into. Together
+#: they cover every simulated interval a train() run records, so
+#: breakdown percentages over these kinds sum to 100.
+BREAKDOWN_KINDS = (
+    "sampling", "update_theta", "update_phi", "sync", "p2p", "h2d", "d2h",
+)
 
 
 @dataclass(frozen=True)
@@ -168,15 +184,44 @@ class TrainResult:
         ]
         if ll is not None:
             lines.append(f"  log-likelihood/token: {ll:.4f}")
-        kinds = ("sampling", "update_theta", "update_phi", "sync")
         parts = ", ".join(
-            f"{k} {self.breakdown.get(k, 0.0) * 100:.1f}%" for k in kinds
+            f"{k} {self.breakdown.get(k, 0.0) * 100:.1f}%"
+            for k in BREAKDOWN_KINDS
         )
         lines.append(f"  breakdown: {parts}")
         return "\n".join(lines)
 
 
-class CuLDA:
+def _busy_fractions(intervals, device_ids, t0: float, t1: float) -> dict[int, float]:
+    """Per-device busy share of the window [t0, t1] (overlap-merged)."""
+    out = {int(d): 0.0 for d in device_ids}
+    dt = t1 - t0
+    if dt <= 0:
+        return out
+    by_dev: dict[int, list[tuple[float, float]]] = {d: [] for d in out}
+    for iv in intervals:
+        if iv.device_id in by_dev:
+            s, e = max(iv.start, t0), min(iv.end, t1)
+            if e > s:
+                by_dev[iv.device_id].append((s, e))
+    for d, spans in by_dev.items():
+        spans.sort()
+        busy = 0.0
+        cur_s = cur_e = None
+        for s, e in spans:
+            if cur_e is None or s > cur_e:
+                if cur_e is not None:
+                    busy += cur_e - cur_s
+                cur_s, cur_e = s, e
+            else:
+                cur_e = max(cur_e, e)
+        if cur_e is not None:
+            busy += cur_e - cur_s
+        out[d] = busy / dt
+    return out
+
+
+class CuLDA(TelemetryMixin):
     """The CuLDA_CGS trainer.
 
     Parameters
@@ -184,6 +229,10 @@ class CuLDA:
     corpus: input corpus.
     machine: simulated platform; defaults to a 1-GPU Volta machine.
     config: training configuration.
+    callbacks: :class:`~repro.telemetry.callbacks.TrainerCallback`
+        instances fired during training (see ``docs/OBSERVABILITY.md``).
+    registry: metrics sink; defaults to the active session's registry
+        or a fresh one (inspect ``trainer.registry`` after train()).
 
     Notes
     -----
@@ -200,10 +249,13 @@ class CuLDA:
         machine: Machine | None = None,
         config: TrainConfig | None = None,
         warm_start_phi: np.ndarray | None = None,
+        callbacks=None,
+        registry=None,
     ):
         self.corpus = corpus
         self.machine = machine or volta_platform(1)
         self.config = config or TrainConfig()
+        self._telemetry_init(callbacks, registry)
         if not self.machine.gpus:
             raise ValueError("machine has no GPUs")
         if warm_start_phi is not None:
@@ -228,8 +280,18 @@ class CuLDA:
             )
 
     # ------------------------------------------------------------------
-    def train(self) -> TrainResult:
-        """Run the full training loop (Alg 1). Returns a TrainResult."""
+    def train(self, callbacks=None) -> TrainResult:
+        """Run the full training loop (Alg 1). Returns a TrainResult.
+
+        *callbacks* extends the constructor's callback list for this run
+        only. A telemetry session over ``self.registry`` is active for
+        the duration, so kernel-level counters (sampler branch counts,
+        transfer bytes, φ high-water) accumulate there.
+        """
+        with self._telemetry_run(callbacks):
+            return self._train_impl()
+
+    def _train_impl(self) -> TrainResult:
         wall_start = time.perf_counter()
         cfg = self.config
         hyper = cfg.hyper()
@@ -237,20 +299,35 @@ class CuLDA:
         machine = self.machine
         G = len(machine.gpus)
 
-        plan = choose_chunking(
-            self.corpus,
-            G,
-            hyper,
-            kcfg,
-            machine.gpus[0].spec,
-            chunks_per_gpu=cfg.chunks_per_gpu,
-        )
-        runtimes = self._init_runtimes(plan, hyper, kcfg)
-        phi_host = self._initial_phi(runtimes, hyper, kcfg)
+        with span("preprocess"):
+            plan = choose_chunking(
+                self.corpus,
+                G,
+                hyper,
+                kcfg,
+                machine.gpus[0].spec,
+                chunks_per_gpu=cfg.chunks_per_gpu,
+            )
+            runtimes = self._init_runtimes(plan, hyper, kcfg)
+            phi_host = self._initial_phi(runtimes, hyper, kcfg)
         workers = [
             GpuWorker(dev, hyper.num_topics, self.corpus.num_words, kcfg)
             for dev in machine.gpus
         ]
+        self._fire(
+            "on_train_start",
+            {
+                "corpus": self.corpus.name,
+                "machine": machine.name,
+                "num_gpus": G,
+                "num_tokens": self.corpus.num_tokens,
+                "num_topics": hyper.num_topics,
+                "num_chunks": plan.num_chunks,
+                "chunks_per_gpu": plan.chunks_per_gpu,
+                "iterations_planned": cfg.iterations,
+                "sync_algorithm": cfg.sync_algorithm,
+            },
+        )
 
         # --- initial distribution (Alg 1 lines 7-9) -------------------
         dev_chunks: list[DeviceChunk] = []
@@ -279,36 +356,95 @@ class CuLDA:
         stats: list[IterationStats] = []
         t_prev = 0.0
         for it in range(cfg.iterations):
-            if plan.chunks_per_gpu == 1:
-                run_iteration_resident(
-                    machine, workers, runtimes, dev_chunks, hyper, kcfg,
-                    cfg.sync_algorithm,
-                )
-            else:
-                run_iteration_streaming(
-                    machine, workers, runtimes, hyper, kcfg,
-                    plan.chunks_per_gpu, cfg.sync_algorithm,
-                    overlap=cfg.overlap_transfers,
-                )
-            t_now = machine.synchronize()
+            iv0 = len(machine.trace.intervals)
+            with span("iteration"):
+                if plan.chunks_per_gpu == 1:
+                    run_iteration_resident(
+                        machine, workers, runtimes, dev_chunks, hyper, kcfg,
+                        cfg.sync_algorithm,
+                    )
+                else:
+                    run_iteration_streaming(
+                        machine, workers, runtimes, hyper, kcfg,
+                        plan.chunks_per_gpu, cfg.sync_algorithm,
+                        overlap=cfg.overlap_transfers,
+                    )
+                t_now = machine.synchronize()
             dt = t_now - t_prev
+            new_ivs = machine.trace.intervals[iv0:]
+            sync_seconds = sum(
+                iv.duration for iv in new_ivs if iv.kind == "sync"
+            )
+            p2p_bytes = sum(
+                iv.bytes_moved for iv in new_ivs if iv.kind == "p2p"
+            )
+            busy = _busy_fractions(
+                new_ivs, [d.device_id for d in machine.gpus], t_prev, t_now
+            )
             t_prev = t_now
+            self._fire(
+                "on_sync_end",
+                {
+                    "iteration": it,
+                    "sync_seconds": sync_seconds,
+                    "p2p_bytes": p2p_bytes,
+                },
+            )
             ll = None
             if cfg.likelihood_every and (it + 1) % cfg.likelihood_every == 0:
-                ll = self._likelihood(runtimes, workers[0], hyper)
+                with span("likelihood"):
+                    ll = self._likelihood(runtimes, workers[0], hyper)
             kd = np.array([r.last_stats.mean_kd for r in runtimes])
             p1 = np.array([r.last_stats.p1_fraction for r in runtimes])
             weights = np.array([r.chunk.num_tokens for r in runtimes], dtype=float)
             weights /= weights.sum()
+            tps = self.corpus.num_tokens / dt if dt > 0 else 0.0
             stats.append(
                 IterationStats(
                     iteration=it,
                     sim_seconds=dt,
-                    tokens_per_sec=self.corpus.num_tokens / dt if dt > 0 else 0.0,
+                    tokens_per_sec=tps,
                     mean_kd=float(kd @ weights),
                     p1_fraction=float(p1 @ weights),
                     log_likelihood_per_token=ll,
                 )
+            )
+            emit_observe(
+                "iteration_sim_seconds", dt,
+                help="simulated duration of one training iteration",
+            )
+            emit_gauge(
+                "train_tokens_per_sec", tps,
+                help="simulated sampling throughput (Eq 2)",
+            )
+            for d, f in busy.items():
+                emit_gauge(
+                    "device_busy_fraction", f,
+                    help="device busy share of the last iteration",
+                    device=str(d),
+                )
+            self._fire(
+                "on_iteration_end",
+                {
+                    "iteration": it,
+                    "sim_seconds": dt,
+                    "tokens_per_sec": tps,
+                    "mean_kd": stats[-1].mean_kd,
+                    "p1_fraction": stats[-1].p1_fraction,
+                    "p1_draws": sum(r.last_stats.p1_draws for r in runtimes),
+                    "p2_draws": sum(
+                        r.last_stats.num_tokens - r.last_stats.p1_draws
+                        for r in runtimes
+                    ),
+                    "tree_probe_levels": sum(
+                        r.last_stats.tree_probe_levels for r in runtimes
+                    ),
+                    "device_busy_fraction": busy,
+                    "log_likelihood_per_token": ll,
+                    "phi": lambda w=workers[0]: (
+                        w.phi_full.data.astype(np.int32).copy()
+                    ),
+                },
             )
             if detector is not None and ll is not None and detector.update(ll):
                 break
@@ -322,7 +458,8 @@ class CuLDA:
                 download_chunk(machine, workers[g], runtimes[g], dev_chunks[g])
         machine.synchronize()
 
-        final_ll = self._likelihood(runtimes, workers[0], hyper)
+        with span("likelihood"):
+            final_ll = self._likelihood(runtimes, workers[0], hyper)
         if stats:
             last = stats[-1]
             stats[-1] = IterationStats(
@@ -334,9 +471,7 @@ class CuLDA:
                 log_likelihood_per_token=final_ll,
             )
 
-        breakdown = machine.trace.breakdown_fractions(
-            ("sampling", "update_theta", "update_phi", "sync", "h2d", "d2h")
-        )
+        breakdown = machine.trace.breakdown_fractions(BREAKDOWN_KINDS)
         phi_final = workers[0].phi_full.data.astype(np.int32).copy()
         theta_final = self._merge_theta(runtimes, hyper)
         topics_final = self._merge_topics(runtimes)
@@ -344,7 +479,7 @@ class CuLDA:
         for w in workers:
             w.free_all()
 
-        return TrainResult(
+        result = TrainResult(
             corpus_name=self.corpus.name,
             machine_name=machine.name,
             num_gpus=G,
@@ -361,6 +496,19 @@ class CuLDA:
             peak_device_bytes=peak,
             topics=topics_final,
         )
+        self._fire(
+            "on_train_end",
+            {
+                "iterations": len(stats),
+                "total_sim_seconds": total_sim,
+                "wall_seconds": result.wall_seconds,
+                "avg_tokens_per_sec": result.avg_tokens_per_sec,
+                "log_likelihood_per_token": final_ll,
+                "peak_device_bytes": peak,
+                "result": result,
+            },
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Internals

@@ -41,11 +41,13 @@ import numpy as np
 from repro.corpus.corpus import TokenChunk
 from repro.core.model import LDAHyperParams, SparseTheta
 from repro.gpusim.costmodel import KernelCost
+from repro.telemetry.context import emit_counter
 
 __all__ = [
     "KernelConfig",
     "SamplingStats",
     "gibbs_sample_chunk",
+    "tree_search_levels",
     "recount_theta",
     "accumulate_phi",
     "sampling_launch_plan",
@@ -106,6 +108,9 @@ class SamplingStats:
     p1_draws: int          # tokens resolved in the sparse branch
     num_word_segments: int # (block, word) assignments after splitting
     num_blocks: int
+    #: Σ_tokens index-tree search levels (p₁ trees over K_d leaves for
+    #: sparse draws, the shared p₂ tree over K leaves for dense draws).
+    tree_probe_levels: int = 0
 
     @property
     def mean_kd(self) -> float:
@@ -115,10 +120,35 @@ class SamplingStats:
     def p1_fraction(self) -> float:
         return self.p1_draws / self.num_tokens if self.num_tokens else 0.0
 
+    @property
+    def mean_probe_levels(self) -> float:
+        """Mean index-tree search depth per token (Fig 5 probe cost)."""
+        return (
+            self.tree_probe_levels / self.num_tokens if self.num_tokens else 0.0
+        )
+
 
 # ----------------------------------------------------------------------
 # Launch plan (§6.1.2)
 # ----------------------------------------------------------------------
+
+def tree_search_levels(num_leaves: np.ndarray | int, fanout: int) -> np.ndarray:
+    """Search levels of an R-way index tree over ``num_leaves`` leaves.
+
+    Equals ``IndexTree(w, fanout).depth - 1`` — i.e. ``ceil(log_R n)``
+    for n > 1, zero for degenerate single-leaf trees — computed by
+    integer repeated division so float log round-off near exact powers
+    of R can never misreport a level.
+    """
+    n = np.atleast_1d(np.asarray(num_leaves, dtype=np.int64)).copy()
+    levels = np.zeros(n.shape, dtype=np.int64)
+    while True:
+        live = n > 1
+        if not live.any():
+            return levels
+        levels[live] += 1
+        n[live] = -(-n[live] // fanout)
+
 
 def sampling_launch_plan(word_indptr: np.ndarray) -> tuple[int, int]:
     """Blocks and word segments for a chunk.
@@ -192,6 +222,9 @@ def gibbs_sample_chunk(
 
     kd_sum = 0
     p1_draws = 0
+    probe_levels = 0
+    # Every dense draw searches the word's shared p₂ tree over K leaves.
+    dense_levels = int(tree_search_levels(K, config.tree_fanout)[0])
 
     # Slab over tokens so the (token × K_d) expansion stays bounded.
     row_len_all = t_ip[token_doc + 1] - t_ip[token_doc]
@@ -220,6 +253,11 @@ def gibbs_sample_chunk(
         target = u_all[lo:hi] * (S + Q)
         sparse_mask = target < S
         p1_draws += int(sparse_mask.sum())
+        # p₁ trees span each token's K_d leaves; p₂ trees span K.
+        probe_levels += int(
+            tree_search_levels(L[sparse_mask], config.tree_fanout).sum()
+        )
+        probe_levels += dense_levels * int((~sparse_mask).sum())
 
         # --- p₁ branch: search within the token's θ-row segment -------
         if sparse_mask.any():
@@ -257,6 +295,26 @@ def gibbs_sample_chunk(
         p1_draws=int(p1_draws),
         num_word_segments=num_segments,
         num_blocks=num_blocks,
+        tree_probe_levels=int(probe_levels),
+    )
+    emit_counter(
+        "sampler_tokens_total", T, help="tokens drawn by the sampling kernel"
+    )
+    emit_counter(
+        "sampler_p1_draws_total", stats.p1_draws,
+        help="tokens resolved in the sparse p1 branch (Eq 6)",
+    )
+    emit_counter(
+        "sampler_p2_draws_total", T - stats.p1_draws,
+        help="tokens resolved in the dense p2 branch",
+    )
+    emit_counter(
+        "sampler_theta_entries_total", stats.kd_sum,
+        help="theta CSR entries gathered (sum of K_d over tokens)",
+    )
+    emit_counter(
+        "sampler_tree_probe_levels_total", stats.tree_probe_levels,
+        help="index-tree search levels descended across all draws",
     )
     return out, stats
 

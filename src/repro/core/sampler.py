@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.index_tree import IndexTree
+from repro.telemetry.context import emit_counter, emit_observe
 
 __all__ = [
     "compute_pstar",
@@ -100,9 +101,19 @@ def sample_token_sq(
     target = u * (S + Q)
     if target < S and p1_vals.size:
         tree = IndexTree(p1_vals, fanout=fanout)
+        emit_counter("sampler_p1_draws_total", help="sparse-branch draws")
+        emit_observe(
+            "sampler_tree_probe_depth", tree.depth - 1,
+            help="index-tree search levels per draw",
+        )
         j = tree.sample(target)
         return int(theta_topics[j])
     tree = IndexTree(alpha * pstar, fanout=fanout)
+    emit_counter("sampler_p2_draws_total", help="dense-branch draws")
+    emit_observe(
+        "sampler_tree_probe_depth", tree.depth - 1,
+        help="index-tree search levels per draw",
+    )
     return int(tree.sample(min(target - S, Q * (1.0 - 1e-12))))
 
 

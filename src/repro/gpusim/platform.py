@@ -35,6 +35,7 @@ from repro.gpusim.trace import TraceRecorder
 
 __all__ = [
     "Machine",
+    "make_machine",
     "maxwell_platform",
     "pascal_platform",
     "volta_platform",
@@ -484,6 +485,40 @@ def ampere_platform(num_gpus: int = 1) -> Machine:
         [GPU_A100] * num_gpus,
         p2p_gbps=NVLINK_P2P_GBPS,
         name="Ampere Platform (hypothetical)",
+    )
+
+
+#: GPU spec and interconnect per platform name, for ``make_machine``.
+_PLATFORM_PARTS = {
+    "maxwell": (CPU_E5_2670, GPU_TITAN_X, PCIE_P2P_GBPS, "Maxwell"),
+    "pascal": (CPU_E5_2650V3, GPU_TITAN_XP, PCIE_P2P_GBPS, "Pascal"),
+    "volta": (CPU_E5_2690V4, GPU_V100, PCIE_P2P_GBPS, "Volta"),
+    "ampere": (CPU_E5_2690V4, GPU_A100, NVLINK_P2P_GBPS, "Ampere"),
+    "dgx": (CPU_E5_2690V4, GPU_V100, NVLINK_P2P_GBPS, "DGX"),
+}
+
+
+def make_machine(platform: str, num_gpus: int = 1) -> Machine:
+    """Build *any* GPU count on a named platform's device specs.
+
+    The ``*_platform`` factories above enforce the paper's Table 2 GPU
+    counts (e.g. the Volta box tops out at 2 V100s) so reproduction
+    scripts can't silently model hardware the paper never ran. Profiling
+    and what-if runs want the specs without the cap — this builder keeps
+    the same CPU/GPU/interconnect parts but accepts any ``num_gpus``.
+    """
+    try:
+        cpu, gpu, p2p, label = _PLATFORM_PARTS[platform]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {platform!r}; "
+            f"choose from {sorted(_PLATFORM_PARTS)}"
+        ) from None
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    return Machine(
+        cpu, [gpu] * num_gpus, p2p_gbps=p2p,
+        name=f"{label} Platform ({num_gpus} GPU)",
     )
 
 

@@ -136,22 +136,29 @@ class TraceRecorder:
         return total
 
     def gantt_text(self, width: int = 72) -> str:
-        """A coarse text Gantt chart of the timeline (one row per stream)."""
+        """A coarse text Gantt chart of the timeline (one row per stream).
+
+        Rows group by device id, then stream name — numerically, so on
+        a big box ``10.compute`` sorts after ``2.compute`` instead of
+        lexicographically before it.
+        """
         if not self.intervals:
             return "(empty trace)"
         t_end = self.makespan()
         if t_end == 0:
             return "(zero-length trace)"
         rows: dict[str, list[str]] = {}
+        stream_device: dict[str, int] = {}
         for iv in sorted(self.intervals, key=lambda x: (x.stream, x.start)):
             row = rows.setdefault(iv.stream, [" "] * width)
+            stream_device.setdefault(iv.stream, iv.device_id)
             lo = min(width - 1, int(iv.start / t_end * width))
             hi = min(width, max(lo + 1, int(iv.end / t_end * width)))
             mark = iv.kind[0].upper() if iv.kind else "#"
             for c in range(lo, hi):
                 row[c] = mark
         lines = [f"timeline 0 .. {t_end:.6f}s"]
-        for stream in sorted(rows):
+        for stream in sorted(rows, key=lambda s: (stream_device[s], s)):
             lines.append(f"{stream:>16s} |{''.join(rows[stream])}|")
         return "\n".join(lines)
 
@@ -159,17 +166,38 @@ class TraceRecorder:
         return len(self.intervals)
 
 
-def to_chrome_json(trace: TraceRecorder) -> str:
+def to_chrome_json(trace: TraceRecorder, extra: TraceRecorder | None = None) -> str:
     """Export a trace as Chrome-tracing JSON (chrome://tracing, Perfetto).
 
     Devices map to processes, streams to threads; times are microseconds
-    as the format requires. Load the returned string from a ``.json``
-    file to inspect kernel overlap visually.
+    as the format requires. Thread ids are stable integers — streams of
+    one device are numbered in sorted-name order — with ``thread_name``
+    metadata events carrying the stream names (appended after the slice
+    events, so consumers indexing ``traceEvents[0]`` still see a slice).
+
+    *extra* optionally merges a second recorder (e.g. the telemetry
+    session's host-span trace) into the same document.
+
+    Load the returned string from a ``.json`` file to inspect kernel
+    overlap visually.
     """
     import json
 
+    intervals = list(trace.intervals)
+    if extra is not None:
+        intervals.extend(extra.intervals)
+
+    # Stable integer tids: per device, streams numbered by sorted name.
+    by_device: dict[int, set[str]] = defaultdict(set)
+    for iv in intervals:
+        by_device[iv.device_id].add(iv.stream)
+    tid_of: dict[tuple[int, str], int] = {}
+    for dev, streams in by_device.items():
+        for tid, stream in enumerate(sorted(streams)):
+            tid_of[(dev, stream)] = tid
+
     events = []
-    for iv in trace.intervals:
+    for iv in intervals:
         events.append(
             {
                 "name": iv.label,
@@ -178,11 +206,21 @@ def to_chrome_json(trace: TraceRecorder) -> str:
                 "ts": iv.start * 1e6,
                 "dur": iv.duration * 1e6,
                 "pid": iv.device_id,
-                "tid": iv.stream,
+                "tid": tid_of[(iv.device_id, iv.stream)],
                 "args": {
                     "bytes": iv.bytes_moved,
                     "flops": iv.flops,
                 },
+            }
+        )
+    for (dev, stream), tid in sorted(tid_of.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": dev,
+                "tid": tid,
+                "args": {"name": stream},
             }
         )
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.culda import TrainResult
     from repro.corpus.corpus import Vocabulary
     from repro.gpusim.platform import Machine
+    from repro.telemetry.registry import MetricsRegistry
 
 __all__ = ["render_markdown"]
 
@@ -36,6 +37,7 @@ def render_markdown(
     vocabulary: "Vocabulary | None" = None,
     top_words: int = 8,
     max_iteration_rows: int = 20,
+    registry: "MetricsRegistry | None" = None,
 ) -> str:
     """Render a training run as GitHub-flavoured markdown."""
     lines: list[str] = []
@@ -84,7 +86,9 @@ def render_markdown(
     lines.append("")
     lines.append("| kind | share |")
     lines.append("|---|---|")
-    for kind in ("sampling", "update_theta", "update_phi", "sync", "h2d", "d2h"):
+    from repro.core.culda import BREAKDOWN_KINDS
+
+    for kind in BREAKDOWN_KINDS:
         share = result.breakdown.get(kind, 0.0)
         if share > 0:
             lines.append(f"| {kind} | {share * 100:.1f}% |")
@@ -131,5 +135,13 @@ def render_markdown(
         lines.append("```")
         lines.append(machine.trace.gantt_text(width=80))
         lines.append("```")
+        lines.append("")
+
+    if registry is not None:
+        from repro.telemetry.exporters import metrics_markdown
+
+        lines.append("## Metrics")
+        lines.append("")
+        lines.append(metrics_markdown(registry))
         lines.append("")
     return "\n".join(lines)

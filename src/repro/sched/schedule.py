@@ -54,6 +54,7 @@ from repro.sched.sync import (
     reduce_phi_tree,
     ring_allreduce_phi,
 )
+from repro.telemetry.context import emit_counter, emit_gauge_max
 
 __all__ = [
     "ChunkRuntime",
@@ -173,6 +174,11 @@ def upload_chunk(
     def up(arr: np.ndarray, name: str) -> DeviceArray:
         buf = DeviceArray(dev, arr.shape, arr.dtype, label=f"{label}.{name}")
         machine.memcpy_h2d(buf, arr, stream=stream, label=f"h2d:{label}.{name}")
+        emit_counter(
+            "transfer_bytes_total", buf.nbytes,
+            help="host-link bytes moved per direction and device",
+            direction="h2d", device=str(dev.device_id),
+        )
         return buf
 
     return DeviceChunk(
@@ -210,6 +216,11 @@ def download_chunk(
         (dc.theta_data, "theta_data"),
     ):
         machine.memcpy_d2h(buf, stream=stream, label=f"d2h:{label}.{name}")
+        emit_counter(
+            "transfer_bytes_total", buf.nbytes,
+            help="host-link bytes moved per direction and device",
+            direction="d2h", device=str(worker.device.device_id),
+        )
     if free:
         dc.free_all()
 
@@ -292,6 +303,11 @@ def enqueue_chunk_compute(
         total = counts.astype(np.int64)
         if accumulate:
             total += worker.phi_partial.data.astype(np.int64)
+        emit_gauge_max(
+            "phi_count_high_water", float(total.max(initial=0)),
+            help="largest phi count seen (uint16 saturates at 65535)",
+            device=str(worker.device.device_id),
+        )
         if config.compressed and total.max(initial=0) >= 2**16:
             raise OverflowError(
                 "phi count exceeds uint16 under compression; "

@@ -23,6 +23,7 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.memory import DeviceArray
 from repro.gpusim.platform import Machine
 from repro.gpusim.stream import Stream
+from repro.telemetry.context import emit_counter, emit_observe
 
 __all__ = [
     "reduce_phi_tree",
@@ -72,10 +73,22 @@ def reduce_phi_tree(
             sender = i + stride
             ready = streams[sender].record(label=f"phi_ready[{sender}]")
             streams[i].wait_event(ready)
-            machine.memcpy_p2p(
+            c_start, _ = machine.memcpy_p2p(
                 scratch[i], partials[sender], stream=streams[i], label="phi_reduce_copy"
             )
-            _add_kernel(partials[i], scratch[i], config).launch(streams[i])
+            emit_counter(
+                "sync_bytes_total", partials[sender].nbytes,
+                help="bytes moved per link during model synchronization",
+                link=f"{sender}->{i}", phase="reduce",
+            )
+            _, a_end, _ = _add_kernel(partials[i], scratch[i], config).launch(
+                streams[i]
+            )
+            emit_observe(
+                "sync_reduce_step_seconds", a_end - c_start,
+                help="simulated copy+add time of one reduce-tree step",
+                stride=str(stride),
+            )
         stride *= 2
     return partials[0]
 
@@ -131,6 +144,11 @@ def broadcast_phi(
                     stream=streams[peer],
                     label="phi_broadcast_copy",
                 )
+                emit_counter(
+                    "sync_bytes_total", destinations[h].nbytes,
+                    help="bytes moved per link during model synchronization",
+                    link=f"{h}->{peer}", phase="broadcast",
+                )
                 new_holders.append(peer)
         have.extend(new_holders)
         step *= 2
@@ -158,6 +176,11 @@ def cpu_gather_sync(
         _, _, arr = machine.memcpy_d2h(
             partials[g], stream=streams[g], label="phi_gather", pinned=False
         )
+        emit_counter(
+            "sync_bytes_total", partials[g].nbytes,
+            help="bytes moved per link during model synchronization",
+            link=f"{g}->host", phase="gather",
+        )
         host_copies.append(arr)
     machine.synchronize()
 
@@ -183,6 +206,11 @@ def cpu_gather_sync(
         machine.memcpy_h2d(
             destinations[g], total, stream=streams[g], label="phi_scatter",
             pinned=False,
+        )
+        emit_counter(
+            "sync_bytes_total", destinations[g].nbytes,
+            help="bytes moved per link during model synchronization",
+            link=f"host->{g}", phase="scatter",
         )
 
 
@@ -278,6 +306,12 @@ def ring_allreduce_phi(
             machine.memcpy_p2p(
                 recv_bufs[dst], send_bufs[g], stream=streams[dst],
                 label="ring_transfer",
+            )
+            emit_counter(
+                "sync_bytes_total", send_bufs[g].nbytes,
+                help="bytes moved per link during model synchronization",
+                link=f"{g}->{dst}",
+                phase="ring_reduce" if reduce_phase else "ring_gather",
             )
 
         for g in range(G):

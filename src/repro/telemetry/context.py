@@ -1,0 +1,110 @@
+"""The active telemetry session and the emit-if-active layer.
+
+Kernel bodies (:mod:`repro.core.kernels`), the scalar sampler, and the
+schedulers instrument themselves through the module-level ``emit_*``
+helpers below. When no session is active the helpers are no-ops, so
+instrumented hot paths cost one dict lookup when telemetry is off and
+tests that don't care about metrics see no behaviour change.
+
+A session bundles:
+
+- a :class:`~repro.telemetry.registry.MetricsRegistry` every emit lands
+  in,
+- a host-side :class:`~repro.gpusim.trace.TraceRecorder` that
+  :func:`repro.telemetry.spans.span` feeds (kept separate from the
+  simulated-clock trace so wall-clock spans never distort simulated
+  breakdowns; exporters merge the two into one Chrome trace),
+- the wall-clock epoch spans are timestamped against.
+
+Sessions nest (a baseline run inside a profiled comparison keeps its
+own registry); the innermost one is active.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.gpusim.trace import TraceRecorder
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "TelemetrySession",
+    "telemetry_session",
+    "active_session",
+    "active_registry",
+    "emit_counter",
+    "emit_gauge",
+    "emit_gauge_max",
+    "emit_observe",
+]
+
+
+class TelemetrySession:
+    """One run's telemetry sinks: registry + host-span trace + epoch."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Host-side span intervals (wall-clock seconds from ``epoch``).
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.epoch = time.perf_counter()
+
+
+_STACK: list[TelemetrySession] = []
+
+
+@contextmanager
+def telemetry_session(
+    session: TelemetrySession | None = None,
+    registry: MetricsRegistry | None = None,
+    trace: TraceRecorder | None = None,
+) -> Iterator[TelemetrySession]:
+    """Make *session* (or a fresh one) the active telemetry sink."""
+    s = session or TelemetrySession(registry=registry, trace=trace)
+    _STACK.append(s)
+    try:
+        yield s
+    finally:
+        _STACK.pop()
+
+
+def active_session() -> TelemetrySession | None:
+    return _STACK[-1] if _STACK else None
+
+
+def active_registry() -> MetricsRegistry | None:
+    s = active_session()
+    return s.registry if s else None
+
+
+# ----------------------------------------------------------------------
+# Emit-if-active helpers (no-ops without a session)
+# ----------------------------------------------------------------------
+
+def emit_counter(name: str, value: float = 1.0, help: str = "", **labels) -> None:
+    reg = active_registry()
+    if reg is not None:
+        reg.counter(name, help, tuple(sorted(labels))).inc(value, **labels)
+
+
+def emit_gauge(name: str, value: float, help: str = "", **labels) -> None:
+    reg = active_registry()
+    if reg is not None:
+        reg.gauge(name, help, tuple(sorted(labels))).set(value, **labels)
+
+
+def emit_gauge_max(name: str, value: float, help: str = "", **labels) -> None:
+    reg = active_registry()
+    if reg is not None:
+        reg.gauge(name, help, tuple(sorted(labels))).set_max(value, **labels)
+
+
+def emit_observe(name: str, value: float, help: str = "", **labels) -> None:
+    reg = active_registry()
+    if reg is not None:
+        reg.histogram(name, help, tuple(sorted(labels))).observe(value, **labels)

@@ -130,3 +130,105 @@ class TestReport:
         assert "Kernel time breakdown" in text
         assert "Iteration trace" in text
         assert "topic" in text
+
+    def test_report_includes_metrics_section(self, capsys, tmp_path):
+        report = tmp_path / "run.md"
+        rc = main([
+            "train", "--synthetic", "nytimes", "--tokens", "6000",
+            "--topics", "6", "--iterations", "2", "--report", str(report),
+        ])
+        assert rc == 0
+        text = report.read_text()
+        assert "## Metrics" in text
+        assert "sampler_tokens_total" in text
+
+
+class TestProfile:
+    def test_profile_defaults_to_synthetic(self, capsys):
+        rc = main([
+            "profile", "--tokens", "6000", "--topics", "6",
+            "--iterations", "2", "--platform", "pascal", "--gpus", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "time breakdown (simulated clock):" in out
+        assert "sampling" in out
+        assert "device busy fractions:" in out
+        assert "gpu0" in out and "gpu1" in out
+        assert "top counters" in out
+        assert "sampler_tokens_total" in out
+        assert "timeline" in out
+
+    def test_profile_volta_4gpu_emits_all_artifacts(self, capsys, tmp_path):
+        """The acceptance command: one run produces a valid Chrome
+        trace, a Prometheus snapshot, and a JSONL event stream."""
+        import json
+
+        from repro.telemetry import parse_prometheus_text, read_jsonl
+
+        trace = tmp_path / "out.json"
+        prom = tmp_path / "out.prom"
+        events = tmp_path / "out.jsonl"
+        rc = main([
+            "profile", "--platform", "volta", "--gpus", "4",
+            "--iterations", "5", "--tokens", "12000", "--topics", "8",
+            "--trace", str(trace), "--metrics", str(prom),
+            "--events", str(events),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+        doc = json.loads(trace.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert doc["traceEvents"][0]["ph"] == "X"
+        # All four simulated devices plus the host-span process.
+        assert {e["pid"] for e in slices} == {-1, 0, 1, 2, 3}
+        assert all(isinstance(e["tid"], int) for e in slices)
+
+        parsed = parse_prometheus_text(prom.read_text())
+        names = {name for name, _ in parsed}
+        assert "sampler_p1_draws_total" in names
+        assert "transfer_bytes_total" in names
+        assert "device_busy_fraction" in names
+
+        evs = read_jsonl(str(events))
+        kinds = [e["event"] for e in evs]
+        assert kinds[0] == "train_start" and kinds[-1] == "train_end"
+        assert kinds.count("iteration_end") == 5
+
+    def test_profile_breakdown_matches_trace(self, capsys, tmp_path):
+        """The stdout breakdown table must agree with what an external
+        consumer recomputes from the exported Chrome trace."""
+        import json
+        import re
+
+        from repro.core.culda import BREAKDOWN_KINDS
+        from repro.gpusim.trace import TraceRecorder
+
+        trace = tmp_path / "out.json"
+        rc = main([
+            "profile", "--platform", "pascal", "--gpus", "2",
+            "--iterations", "3", "--tokens", "8000", "--topics", "8",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+
+        section = out.split("time breakdown (simulated clock):")[1]
+        section = section.split("device busy fractions:")[0]
+        printed: dict[str, float] = {}
+        for m in re.finditer(r"^  (\w+)\s+(\d+\.\d)%$", section, re.M):
+            printed[m.group(1)] = float(m.group(2)) / 100.0
+        assert "sampling" in printed
+
+        rebuilt = TraceRecorder()
+        for e in json.loads(trace.read_text())["traceEvents"]:
+            if e["ph"] != "X" or e["pid"] < 0:
+                continue  # skip host spans and metadata
+            rebuilt.add(
+                e["pid"], str(e["tid"]), e["cat"], e["name"],
+                e["ts"] / 1e6, (e["ts"] + e["dur"]) / 1e6,
+            )
+        frac = rebuilt.breakdown_fractions(BREAKDOWN_KINDS)
+        for kind, share in printed.items():
+            assert frac[kind] == pytest.approx(share, abs=6e-4), kind
