@@ -16,11 +16,14 @@ This implementation is a working system on the simulated substrate:
 - the iteration clock is the max over workers of
   pull → compute → push, with all messages contending on the per-node
   Ethernet links.
+
+Iteration control lives in :mod:`repro.engine`; checkpoints carry each
+worker's assignments/θ/RNG plus the parameter-server φ, the pending
+push deltas and stale φ caches, so bounded-staleness runs resume
+bit-identically mid-window.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,50 +41,19 @@ from repro.core.kernels import (
 )
 from repro.core.likelihood import _doc_log_likelihood, word_log_likelihood
 from repro.core.model import LDAHyperParams, SparseTheta
+from repro.engine.algorithm import Algorithm, IterationOutcome
+from repro.engine.loop import LoopConfig, TrainingLoop
+from repro.engine.results import TrainResult
+from repro.engine.state import RunState
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.platform import CPU_E5_2690V4
 from repro.sched.partition import partition_by_tokens
-from repro.telemetry.mixin import TelemetryMixin
-from repro.telemetry.spans import span
 
 __all__ = ["LDAStar", "LDAStarResult"]
 
-
-@dataclass(frozen=True)
-class LDAStarIteration:
-    iteration: int
-    sim_seconds: float
-    tokens_per_sec: float
-    network_seconds: float
-    compute_seconds: float
-    log_likelihood_per_token: float | None
-
-
-@dataclass
-class LDAStarResult:
-    corpus_name: str
-    num_workers: int
-    iterations: list[LDAStarIteration]
-    total_sim_seconds: float
-    wall_seconds: float
-    network_bytes: float
-    phi: np.ndarray
-    hyper: LDAHyperParams
-
-    @property
-    def avg_tokens_per_sec(self) -> float:
-        if self.total_sim_seconds == 0 or not self.iterations:
-            return 0.0
-        T = self.iterations[0].tokens_per_sec * self.iterations[0].sim_seconds
-        return T * len(self.iterations) / self.total_sim_seconds
-
-    @property
-    def final_log_likelihood(self) -> float | None:
-        for it in reversed(self.iterations):
-            if it.log_likelihood_per_token is not None:
-                return it.log_likelihood_per_token
-        return None
+#: Historical alias — LDA* now returns the unified engine result.
+LDAStarResult = TrainResult
 
 
 class _Worker:
@@ -107,7 +79,7 @@ class _Worker:
         self.local_counts = accumulate_phi(chunk, self.topics, hyper.num_topics)
 
 
-class LDAStar(TelemetryMixin):
+class LDAStar(Algorithm):
     """The parameter-server distributed LDA trainer.
 
     Parameters
@@ -125,6 +97,8 @@ class LDAStar(TelemetryMixin):
         parameter-server systems actually turn.
     seed: RNG seed.
     """
+
+    name = "ldastar"
 
     def __init__(
         self,
@@ -169,6 +143,10 @@ class LDAStar(TelemetryMixin):
         # Per-worker stale φ caches (populated at each sync round).
         self._phi_cache: dict[int, np.ndarray] = {}
         self._pending_delta: dict[int, np.ndarray] = {}
+        self._clock = 0.0
+        #: Network bytes accumulated before this process's ClusterNetwork
+        #: existed (carried over a checkpoint/resume boundary).
+        self._net_base = 0.0
 
     # ------------------------------------------------------------------
     def _compute_seconds(self, worker: _Worker) -> float:
@@ -191,73 +169,130 @@ class LDAStar(TelemetryMixin):
         return self._cost_model.kernel_seconds(self.cpu_spec, cost)
 
     def train(
-        self, iterations: int = 50, likelihood_every: int = 0, callbacks=None
-    ) -> LDAStarResult:
-        with self._telemetry_run(callbacks):
-            return self._train_impl(iterations, likelihood_every)
+        self,
+        iterations: int = 50,
+        likelihood_every: int = 0,
+        callbacks=None,
+        *,
+        save_every: int = 0,
+        checkpoint_path=None,
+        resume=None,
+        vocabulary=None,
+    ) -> TrainResult:
+        loop = TrainingLoop(
+            self,
+            LoopConfig(
+                iterations=iterations,
+                likelihood_every=likelihood_every,
+                save_every=save_every,
+                checkpoint_path=checkpoint_path,
+                vocabulary=vocabulary,
+            ),
+            callbacks=callbacks,
+            resume=resume,
+        )
+        return loop.run()
 
-    def _train_impl(self, iterations: int, likelihood_every: int) -> LDAStarResult:
-        history: list[LDAStarIteration] = []
-        clock = 0.0
+    # ------------------------------------------------------------------
+    # Algorithm strategy surface
+    # ------------------------------------------------------------------
+    def init_state(self, resume: RunState | None = None) -> RunState:
+        self._clock = 0.0
+        if resume is not None:
+            self._restore(resume)
+        state = resume if resume is not None else RunState(algo=self.name)
+        self.capture_state(state)
+        return state
+
+    def _restore(self, state: RunState) -> None:
+        if len(state.topics) != len(self.workers) or state.thetas is None:
+            raise ValueError(
+                f"checkpoint has {len(state.topics)} worker(s), this run "
+                f"has {len(self.workers)}; match num_workers to resume"
+            )
         K = self.hyper.num_topics
-        self._fire(
-            "on_train_start",
-            {
-                "corpus": self.corpus.name,
-                "machine": f"{len(self.workers)}x {self.cpu_spec.name}",
-                "num_tokens": self.corpus.num_tokens,
-                "num_topics": K,
-                "iterations_planned": iterations,
-            },
-        )
-        with span("train:ldastar") as sp:
-            for it in range(iterations):
-                prev_clock = clock
-                clock, net_time, cmp_time = self._iterate_once(it, clock)
-                dt = clock - prev_clock
-                ll = None
-                if (likelihood_every and (it + 1) % likelihood_every == 0) or (
-                    it == iterations - 1
-                ):
-                    ll = self.log_likelihood_per_token()
-                tps = self.corpus.num_tokens / dt if dt > 0 else 0.0
-                history.append(
-                    LDAStarIteration(it, dt, tps, net_time, cmp_time, ll)
+        for i, w in enumerate(self.workers):
+            topics = state.topics[i]
+            if topics.size != w.chunk.num_tokens:
+                raise ValueError(
+                    "checkpoint partition sizes do not match this corpus"
                 )
-                self._fire(
-                    "on_iteration_end",
-                    {
-                        "iteration": it,
-                        "sim_seconds": dt,
-                        "tokens_per_sec": tps,
-                        "network_seconds": net_time,
-                        "compute_seconds": cmp_time,
-                        "log_likelihood_per_token": ll,
-                    },
-                )
-        result = LDAStarResult(
-            corpus_name=self.corpus.name,
-            num_workers=len(self.workers),
-            iterations=history,
-            total_sim_seconds=clock,
-            wall_seconds=sp.duration,
-            network_bytes=self.network.total_bytes(),
-            phi=self.server.phi.astype(np.int32),
-            hyper=self.hyper,
-        )
-        self._fire(
-            "on_train_end",
-            {
-                "iterations": len(history),
-                "total_sim_seconds": clock,
-                "wall_seconds": result.wall_seconds,
-                "avg_tokens_per_sec": result.avg_tokens_per_sec,
-                "network_bytes": result.network_bytes,
-                "result": result,
-            },
-        )
-        return result
+            w.topics = topics.astype(np.int32, copy=False)
+            w.theta = state.thetas[i]
+            w.rng = state.rngs[i]
+            w.local_counts = accumulate_phi(w.chunk, w.topics, K)
+        self.server.phi = state.phi.astype(np.int64).copy()
+        self._phi_cache = {}
+        self._pending_delta = {}
+        for i in range(len(self.workers)):
+            pd = state.extras.get(f"pending_delta_{i}")
+            if pd is not None:
+                self._pending_delta[i] = pd.astype(np.int64).copy()
+            pc = state.extras.get(f"phi_cache_{i}")
+            if pc is not None:
+                self._phi_cache[i] = pc.astype(np.int64).copy()
+        nb = state.extras.get("network_bytes")
+        self._net_base = float(nb[0]) if nb is not None else 0.0
 
+    def start_event(self, state: RunState) -> dict:
+        return {"machine": f"{len(self.workers)}x {self.cpu_spec.name}"}
+
+    def run_iteration(self, state: RunState) -> IterationOutcome:
+        prev = self._clock
+        self._clock, net_time, cmp_time = self._iterate_once(
+            state.iteration, prev
+        )
+        dt = self._clock - prev
+        tps = self.corpus.num_tokens / dt if dt > 0 else 0.0
+        extras = {"network_seconds": net_time, "compute_seconds": cmp_time}
+        return IterationOutcome(
+            sim_seconds=dt,
+            tokens_per_sec=tps,
+            stats=dict(extras),
+            event=dict(extras),
+        )
+
+    def log_likelihood(self, state: RunState) -> float:
+        return self.log_likelihood_per_token()
+
+    def capture_state(self, state: RunState) -> None:
+        state.phi = self.server.phi.copy()
+        state.topics = [w.topics for w in self.workers]
+        state.thetas = [w.theta for w in self.workers]
+        state.rngs = [w.rng for w in self.workers]
+        extras = {
+            "network_bytes": np.array(
+                [self._net_base + self.network.total_bytes()]
+            ),
+        }
+        for i, delta in self._pending_delta.items():
+            extras[f"pending_delta_{i}"] = delta
+        for i, cache in self._phi_cache.items():
+            extras[f"phi_cache_{i}"] = cache
+        state.extras = extras
+
+    def finalize(self, state: RunState, wall_seconds: float) -> TrainResult:
+        return TrainResult(
+            corpus_name=self.corpus.name,
+            num_tokens=self.corpus.num_tokens,
+            iterations=list(state.history),
+            total_sim_seconds=state.sim_seconds,
+            wall_seconds=wall_seconds,
+            phi=self.server.phi.astype(np.int32),
+            theta=SparseTheta.concatenate(
+                [w.theta for w in self.workers], self.hyper.num_topics
+            ),
+            hyper=self.hyper,
+            algo=self.name,
+            cpu_name=self.cpu_spec.name,
+            num_workers=len(self.workers),
+            network_bytes=self._net_base + self.network.total_bytes(),
+        )
+
+    def end_event(self, state: RunState, result: TrainResult) -> dict:
+        return {"network_bytes": result.network_bytes}
+
+    # ------------------------------------------------------------------
     def _iterate_once(self, it: int, clock: float) -> tuple[float, float, float]:
         """One synchronous parameter-server round; returns the advanced
         cluster clock and the round's (network, compute) critical paths."""

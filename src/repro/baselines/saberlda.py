@@ -14,21 +14,28 @@ optimizations disabled —
 This keeps the baseline sparsity-aware (SaberLDA is) while removing
 exactly the deltas the paper credits for its win, so the measured gap
 is the ablation the comparison implies. See DESIGN.md §2.
+
+As a :class:`~repro.core.culda.CuLDA` subclass it inherits the full
+engine surface — callbacks, likelihood cadences, checkpoint/resume —
+with its own strategy name, so ``--algo saberlda`` checkpoints refuse
+to resume under a differently-configured trainer.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.core.culda import CuLDA, TrainConfig, TrainResult
+from repro.core.culda import CuLDA, TrainConfig
 from repro.corpus.corpus import Corpus
 from repro.gpusim.platform import Machine, pascal_platform
 
 __all__ = ["SaberLDA"]
 
 
-class SaberLDA:
+class SaberLDA(CuLDA):
     """Single-GPU sparsity-aware LDA without CuLDA's optimizations."""
+
+    name = "saberlda"
 
     def __init__(
         self,
@@ -42,23 +49,15 @@ class SaberLDA:
         if len(machine.gpus) != 1:
             raise ValueError("SaberLDA supports a single GPU only")
         base = config or TrainConfig()
-        self.config = replace(
-            base,
-            share_p2_tree=False,
-            reuse_pstar=False,
-            compressed=False,
+        super().__init__(
+            corpus,
+            machine,
+            replace(
+                base,
+                share_p2_tree=False,
+                reuse_pstar=False,
+                compressed=False,
+            ),
+            callbacks=callbacks,
+            registry=registry,
         )
-        self._trainer = CuLDA(
-            corpus, machine, self.config, callbacks=callbacks, registry=registry
-        )
-
-    @property
-    def registry(self):
-        """The inner trainer's metrics registry (populated by train())."""
-        return self._trainer.registry
-
-    def add_callback(self, cb) -> None:
-        self._trainer.add_callback(cb)
-
-    def train(self, callbacks=None) -> TrainResult:
-        return self._trainer.train(callbacks)

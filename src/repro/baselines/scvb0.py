@@ -20,42 +20,22 @@ within each document.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.model import LDAHyperParams
 from repro.corpus.corpus import Corpus
-from repro.telemetry.mixin import TelemetryMixin
-from repro.telemetry.spans import span
+from repro.engine.algorithm import Algorithm, IterationOutcome
+from repro.engine.loop import LoopConfig, TrainingLoop
+from repro.engine.results import TrainResult
+from repro.engine.state import RunState
 
 __all__ = ["SCVB0", "SCVB0Result"]
 
-
-@dataclass(frozen=True)
-class SCVB0Iteration:
-    iteration: int
-    log_likelihood_per_token: float | None
+#: Historical alias — SCVB0 now returns the unified engine result.
+SCVB0Result = TrainResult
 
 
-@dataclass
-class SCVB0Result:
-    corpus_name: str
-    iterations: list[SCVB0Iteration]
-    wall_seconds: float
-    n_phi: np.ndarray       # expected topic-word counts
-    n_theta: np.ndarray     # expected doc-topic counts
-    hyper: LDAHyperParams
-
-    @property
-    def final_log_likelihood(self) -> float | None:
-        for it in reversed(self.iterations):
-            if it.log_likelihood_per_token is not None:
-                return it.log_likelihood_per_token
-        return None
-
-
-class SCVB0(TelemetryMixin):
+class SCVB0(Algorithm):
     """Stochastic collapsed variational Bayes zero for LDA.
 
     Parameters
@@ -68,6 +48,8 @@ class SCVB0(TelemetryMixin):
     doc_burn_in: clamped-θ passes over each document before its
         statistics are committed.
     """
+
+    name = "scvb0"
 
     def __init__(
         self,
@@ -165,50 +147,76 @@ class SCVB0(TelemetryMixin):
         return total / self.corpus.num_tokens
 
     def train(
-        self, iterations: int = 20, likelihood_every: int = 0, callbacks=None
-    ) -> SCVB0Result:
-        with self._telemetry_run(callbacks):
-            return self._train_impl(iterations, likelihood_every)
-
-    def _train_impl(self, iterations: int, likelihood_every: int) -> SCVB0Result:
-        self._fire(
-            "on_train_start",
-            {
-                "corpus": self.corpus.name,
-                "num_tokens": self.corpus.num_tokens,
-                "num_topics": self.hyper.num_topics,
-                "iterations_planned": iterations,
-            },
+        self,
+        iterations: int = 20,
+        likelihood_every: int = 0,
+        callbacks=None,
+        *,
+        save_every: int = 0,
+        checkpoint_path=None,
+        resume=None,
+        vocabulary=None,
+    ) -> TrainResult:
+        loop = TrainingLoop(
+            self,
+            LoopConfig(
+                iterations=iterations,
+                likelihood_every=likelihood_every,
+                save_every=save_every,
+                checkpoint_path=checkpoint_path,
+                vocabulary=vocabulary,
+            ),
+            callbacks=callbacks,
+            resume=resume,
         )
-        history: list[SCVB0Iteration] = []
-        with span("train:scvb0") as sp:
-            for it in range(iterations):
-                self.iterate(1)
-                ll = None
-                if (likelihood_every and (it + 1) % likelihood_every == 0) or (
-                    it == iterations - 1
-                ):
-                    ll = self.log_likelihood_per_token()
-                history.append(SCVB0Iteration(it, ll))
-                self._fire(
-                    "on_iteration_end",
-                    {"iteration": it, "log_likelihood_per_token": ll},
-                )
-        result = SCVB0Result(
+        return loop.run()
+
+    # ------------------------------------------------------------------
+    # Algorithm strategy surface
+    # ------------------------------------------------------------------
+    def init_state(self, resume: RunState | None = None) -> RunState:
+        if resume is not None:
+            if resume.phi is None or resume.phi.shape != self.n_phi.shape:
+                raise ValueError("checkpoint does not match this corpus")
+            self.n_phi = resume.phi.astype(np.float64, copy=False)
+            self.n_theta = resume.extras["n_theta"].astype(
+                np.float64, copy=False
+            )
+            self.n_z = self.n_phi.sum(axis=1)
+            self._t = int(resume.extras["t"][0])
+            self.rng = resume.rngs[0]
+        state = resume if resume is not None else RunState(algo=self.name)
+        self.capture_state(state)
+        return state
+
+    def run_iteration(self, state: RunState) -> IterationOutcome:
+        self.iterate(1)
+        # Untimed: SCVB0 carries no CPU cost model, so the outcome omits
+        # sim_seconds and the iteration event stays timing-free.
+        return IterationOutcome()
+
+    def log_likelihood(self, state: RunState) -> float:
+        return self.log_likelihood_per_token()
+
+    def capture_state(self, state: RunState) -> None:
+        state.phi = self.n_phi
+        state.topics = []
+        state.thetas = None
+        state.rngs = [self.rng]
+        state.extras = {
+            "n_theta": self.n_theta,
+            "t": np.array([self._t], dtype=np.int64),
+        }
+
+    def finalize(self, state: RunState, wall_seconds: float) -> TrainResult:
+        return TrainResult(
             corpus_name=self.corpus.name,
-            iterations=history,
-            wall_seconds=sp.duration,
+            num_tokens=self.corpus.num_tokens,
+            iterations=list(state.history),
+            wall_seconds=wall_seconds,
+            phi=self.n_phi.copy(),
+            hyper=self.hyper,
             n_phi=self.n_phi.copy(),
             n_theta=self.n_theta.copy(),
-            hyper=self.hyper,
+            algo=self.name,
         )
-        self._fire(
-            "on_train_end",
-            {
-                "iterations": len(history),
-                "wall_seconds": result.wall_seconds,
-                "log_likelihood_per_token": result.final_log_likelihood,
-                "result": result,
-            },
-        )
-        return result

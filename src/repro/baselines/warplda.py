@@ -20,27 +20,35 @@ The implementation is a faithful working sampler — it converges on real
 data — plus a CPU cost model calibrated to the throughput the paper
 measured for WarpLDA on its Volta-platform host (Table 4: 108.0 M
 tokens/s on NYTimes, 93.5 M on PubMed).
+
+Iteration control lives in :mod:`repro.engine`; this module implements
+the :class:`~repro.engine.algorithm.Algorithm` surface for the MCEM
+sampler, which buys it likelihood cadences, callbacks, and
+checkpoint/resume for free.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.corpus.corpus import Corpus
 from repro.core.likelihood import log_likelihood_per_token
 from repro.core.model import LDAHyperParams, SparseTheta
+from repro.engine.algorithm import Algorithm, IterationOutcome
+from repro.engine.loop import LoopConfig, TrainingLoop
+from repro.engine.results import TrainResult
+from repro.engine.state import RunState
 from repro.gpusim.costmodel import KernelCost
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.platform import CPU_E5_2690V4
-from repro.telemetry.mixin import TelemetryMixin
-from repro.telemetry.spans import span
 
 __all__ = ["WarpLDA", "WarpLDAResult", "warplda_iteration_cost"]
 
 #: MH proposal/acceptance rounds per phase per iteration.
 MH_STEPS = 2
+
+#: Historical alias — WarpLDA now returns the unified engine result.
+WarpLDAResult = TrainResult
 
 
 def warplda_iteration_cost(
@@ -68,41 +76,7 @@ def warplda_iteration_cost(
     )
 
 
-@dataclass(frozen=True)
-class WarpLDAIteration:
-    iteration: int
-    sim_seconds: float
-    tokens_per_sec: float
-    log_likelihood_per_token: float | None
-
-
-@dataclass
-class WarpLDAResult:
-    corpus_name: str
-    cpu_name: str
-    iterations: list[WarpLDAIteration]
-    total_sim_seconds: float
-    wall_seconds: float
-    phi: np.ndarray
-    hyper: LDAHyperParams
-
-    @property
-    def avg_tokens_per_sec(self) -> float:
-        iters = len(self.iterations)
-        if self.total_sim_seconds == 0:
-            return 0.0
-        tokens = self.iterations[0].tokens_per_sec * self.iterations[0].sim_seconds
-        return tokens * iters / self.total_sim_seconds
-
-    @property
-    def final_log_likelihood(self) -> float | None:
-        for it in reversed(self.iterations):
-            if it.log_likelihood_per_token is not None:
-                return it.log_likelihood_per_token
-        return None
-
-
-class WarpLDA(TelemetryMixin):
+class WarpLDA(Algorithm):
     """The MCEM/MH CPU trainer.
 
     Parameters
@@ -114,6 +88,8 @@ class WarpLDA(TelemetryMixin):
     callbacks / registry: telemetry hooks and metrics sink (see
         ``docs/OBSERVABILITY.md``); the same protocol CuLDA speaks.
     """
+
+    name = "warplda"
 
     def __init__(
         self,
@@ -203,90 +179,93 @@ class WarpLDA(TelemetryMixin):
 
     # ------------------------------------------------------------------
     def train(
-        self, iterations: int = 100, likelihood_every: int = 0, callbacks=None
-    ) -> WarpLDAResult:
+        self,
+        iterations: int = 100,
+        likelihood_every: int = 0,
+        callbacks=None,
+        *,
+        save_every: int = 0,
+        checkpoint_path=None,
+        resume=None,
+        vocabulary=None,
+    ) -> TrainResult:
         """Run MCEM iterations; returns simulated-CPU-timed results."""
-        with self._telemetry_run(callbacks):
-            return self._train_impl(iterations, likelihood_every)
+        loop = TrainingLoop(
+            self,
+            LoopConfig(
+                iterations=iterations,
+                likelihood_every=likelihood_every,
+                save_every=save_every,
+                checkpoint_path=checkpoint_path,
+                vocabulary=vocabulary,
+            ),
+            callbacks=callbacks,
+            resume=resume,
+        )
+        return loop.run()
 
-    def _train_impl(self, iterations: int, likelihood_every: int) -> WarpLDAResult:
+    # ------------------------------------------------------------------
+    # Algorithm strategy surface
+    # ------------------------------------------------------------------
+    def init_state(self, resume: RunState | None = None) -> RunState:
         from repro.gpusim.costmodel import CostModel
 
-        cm = CostModel()
         cost = warplda_iteration_cost(
             self.corpus.num_tokens,
             self.hyper.num_topics,
             self.corpus.num_words,
             self.corpus.num_tokens / max(1, self.corpus.num_docs),
         )
-        dt = cm.kernel_seconds(self.cpu_spec, cost)
-        self._fire(
-            "on_train_start",
-            {
-                "corpus": self.corpus.name,
-                "machine": self.cpu_spec.name,
-                "num_tokens": self.corpus.num_tokens,
-                "num_topics": self.hyper.num_topics,
-                "iterations_planned": iterations,
-            },
+        self._dt = CostModel().kernel_seconds(self.cpu_spec, cost)
+        if resume is not None:
+            topics = resume.topics[0]
+            if topics.size != self.corpus.num_tokens:
+                raise ValueError("checkpoint does not match this corpus")
+            self.topics = topics.astype(np.int64, copy=False)
+            self.rng = resume.rngs[0]
+            self._rebuild_counts()
+        state = resume if resume is not None else RunState(algo=self.name)
+        self.capture_state(state)
+        return state
+
+    def start_event(self, state: RunState) -> dict:
+        return {"machine": self.cpu_spec.name}
+
+    def run_iteration(self, state: RunState) -> IterationOutcome:
+        self._doc_phase()
+        self._word_phase()
+        self._rebuild_counts()
+        return IterationOutcome(
+            sim_seconds=self._dt,
+            tokens_per_sec=self.corpus.num_tokens / self._dt,
         )
-        history: list[WarpLDAIteration] = []
-        sim_t = 0.0
-        with span("train:warplda") as sp:
-            for it in range(iterations):
-                self._doc_phase()
-                self._word_phase()
-                self._rebuild_counts()
-                sim_t += dt
-                ll = None
-                if (likelihood_every and (it + 1) % likelihood_every == 0) or (
-                    it == iterations - 1
-                ):
-                    ll = self.log_likelihood_per_token()
-                history.append(
-                    WarpLDAIteration(
-                        it, dt, self.corpus.num_tokens / dt, ll
-                    )
-                )
-                self._fire(
-                    "on_iteration_end",
-                    {
-                        "iteration": it,
-                        "sim_seconds": dt,
-                        "tokens_per_sec": self.corpus.num_tokens / dt,
-                        "log_likelihood_per_token": ll,
-                    },
-                )
-        result = WarpLDAResult(
+
+    def log_likelihood(self, state: RunState) -> float:
+        return self.log_likelihood_per_token()
+
+    def capture_state(self, state: RunState) -> None:
+        state.phi = self.phi
+        state.topics = [self.topics]
+        state.thetas = None
+        state.rngs = [self.rng]
+
+    def finalize(self, state: RunState, wall_seconds: float) -> TrainResult:
+        return TrainResult(
             corpus_name=self.corpus.name,
             cpu_name=self.cpu_spec.name,
-            iterations=history,
-            total_sim_seconds=sim_t,
-            wall_seconds=sp.duration,
+            num_tokens=self.corpus.num_tokens,
+            iterations=list(state.history),
+            total_sim_seconds=state.sim_seconds,
+            wall_seconds=wall_seconds,
             phi=self.phi.astype(np.int32),
+            theta=SparseTheta.from_dense(self.theta, self.hyper.num_topics),
             hyper=self.hyper,
+            algo=self.name,
         )
-        self._fire(
-            "on_train_end",
-            {
-                "iterations": len(history),
-                "total_sim_seconds": sim_t,
-                "wall_seconds": result.wall_seconds,
-                "avg_tokens_per_sec": result.avg_tokens_per_sec,
-                "result": result,
-            },
-        )
-        return result
 
+    # ------------------------------------------------------------------
     def log_likelihood_per_token(self) -> float:
-        D, K = self.theta.shape
-        rows, cols = np.nonzero(self.theta)
-        indptr = np.zeros(D + 1, dtype=np.int64)
-        np.add.at(indptr, rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
-        theta_csr = SparseTheta(
-            indptr, cols.astype(np.int32), self.theta[rows, cols].astype(np.int32), K
-        )
+        theta_csr = SparseTheta.from_dense(self.theta, self.hyper.num_topics)
         return log_likelihood_per_token(
             theta_csr, self.phi, self.n_k, self.corpus.doc_lengths, self.hyper
         )

@@ -13,6 +13,11 @@ Examples
 
     repro-lda train --synthetic nytimes --tokens 50000 --topics 32 \
         --iterations 30 --platform pascal --gpus 2 --save model.npz
+    repro-lda train --algo warplda --synthetic nytimes --tokens 50000 \
+        --topics 32 --iterations 30
+    repro-lda train --synthetic nytimes --iterations 40 \
+        --save run.npz --save-every 10        # checkpoint every 10 iters
+    repro-lda train --synthetic nytimes --iterations 40 --resume run.npz
     repro-lda infer --model model.npz --synthetic nytimes --tokens 5000
     repro-lda project table4
     repro-lda profile --platform volta --gpus 4 --iterations 5 \
@@ -57,16 +62,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("train", help="train a model")
     add_corpus_args(t)
+    t.add_argument("--algo",
+                   choices=("culda", "saberlda", "warplda", "scvb0",
+                            "ldastar"),
+                   default="culda",
+                   help="training algorithm (default: culda)")
     t.add_argument("--topics", type=int, default=128, help="K")
     t.add_argument("--iterations", type=int, default=100)
-    t.add_argument("--platform", choices=PLATFORMS, default="volta")
+    t.add_argument("--platform", choices=PLATFORMS, default="volta",
+                   help="simulated platform (culda/saberlda)")
     t.add_argument("--gpus", type=int, default=1)
+    t.add_argument("--workers", type=int, default=4,
+                   help="cluster size (ldastar)")
     t.add_argument("--likelihood-every", type=int, default=0)
     t.add_argument("--no-compression", action="store_true",
                    help="disable 16-bit compression (§6.1.3)")
     t.add_argument("--sync", choices=("gpu_tree", "ring", "cpu_gather"),
                    default="gpu_tree")
     t.add_argument("--save", metavar="FILE", help="write model checkpoint")
+    t.add_argument("--save-every", type=int, default=0, metavar="N",
+                   help="write a full run-state checkpoint to --save FILE "
+                   "every N iterations (resumable with --resume)")
+    t.add_argument("--resume", metavar="FILE",
+                   help="resume bit-identically from a --save-every "
+                   "checkpoint")
     t.add_argument("--report", metavar="FILE",
                    help="write a markdown run report")
     t.add_argument("--top-words", type=int, default=0,
@@ -117,42 +136,71 @@ def _load_corpus(args: argparse.Namespace):
     return maker(num_tokens=args.tokens, seed=args.seed)
 
 
-def _machine(platform: str, gpus: int):
-    from repro.gpusim.platform import (
-        dgx_platform,
-        maxwell_platform,
-        pascal_platform,
-        volta_platform,
-    )
-
-    return {
-        "maxwell": maxwell_platform,
-        "pascal": pascal_platform,
-        "volta": volta_platform,
-        "dgx": dgx_platform,
-    }[platform](gpus)
-
-
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.core import CuLDA, TrainConfig, save_model
+    from repro.core import save_model
     from repro.telemetry import MetricsRegistry
 
+    if args.save_every and not args.save:
+        print("error: --save-every requires --save FILE", file=sys.stderr)
+        return 2
     corpus = _load_corpus(args)
-    machine = _machine(args.platform, args.gpus)
     registry = MetricsRegistry()
-    result = CuLDA(
-        corpus,
-        machine=machine,
-        config=TrainConfig(
+    run_kwargs = dict(
+        save_every=args.save_every,
+        checkpoint_path=args.save if args.save_every else None,
+        resume=args.resume,
+        vocabulary=corpus.vocabulary,
+    )
+    machine = None
+    if args.algo in ("culda", "saberlda"):
+        from repro.core import CuLDA, TrainConfig
+        from repro.gpusim.platform import make_machine
+
+        if args.algo == "saberlda" and args.gpus != 1:
+            print("error: saberlda supports a single GPU only",
+                  file=sys.stderr)
+            return 2
+        machine = make_machine(args.platform, args.gpus)
+        config = TrainConfig(
             num_topics=args.topics,
             iterations=args.iterations,
             seed=args.seed,
             compressed=not args.no_compression,
             sync_algorithm=args.sync,
             likelihood_every=args.likelihood_every,
-        ),
-        registry=registry,
-    ).train()
+        )
+        if args.algo == "saberlda":
+            from repro.baselines import SaberLDA
+
+            trainer = SaberLDA(corpus, machine, config, registry=registry)
+        else:
+            trainer = CuLDA(
+                corpus, machine=machine, config=config, registry=registry
+            )
+        result = trainer.train(**run_kwargs)
+    else:
+        from repro.core.model import LDAHyperParams
+
+        hyper = LDAHyperParams(num_topics=args.topics)
+        if args.algo == "warplda":
+            from repro.baselines import WarpLDA
+
+            trainer = WarpLDA(corpus, hyper, seed=args.seed,
+                              registry=registry)
+        elif args.algo == "scvb0":
+            from repro.baselines import SCVB0
+
+            trainer = SCVB0(corpus, hyper, seed=args.seed, registry=registry)
+        else:
+            from repro.baselines import LDAStar
+
+            trainer = LDAStar(corpus, hyper, num_workers=args.workers,
+                              seed=args.seed, registry=registry)
+        result = trainer.train(
+            iterations=args.iterations,
+            likelihood_every=args.likelihood_every,
+            **run_kwargs,
+        )
     print(result.summary())
     if args.top_words:
         vocab = corpus.vocabulary
@@ -163,8 +211,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
             )
             print(f"topic {k:>3d}: {shown}")
     if args.save:
-        save_model(result, args.save, vocabulary=corpus.vocabulary)
-        print(f"model saved to {args.save}")
+        if args.save_every:
+            # train() already wrote the run-state file, which doubles as
+            # a model checkpoint.
+            print(f"run-state checkpoint saved to {args.save}")
+        else:
+            save_model(result, args.save, vocabulary=corpus.vocabulary)
+            print(f"model saved to {args.save}")
     if args.report:
         from repro.report import render_markdown
 

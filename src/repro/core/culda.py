@@ -20,11 +20,15 @@ simulated machine, with real Gibbs numerics. Results carry both the
 statistical outputs (φ, θ, topic assignments, log-likelihood trace) and
 the performance outputs (simulated per-iteration throughput, kernel
 time breakdown) the paper reports.
+
+Iteration control (likelihood cadence, early stopping, callbacks,
+checkpoint/resume) lives in :mod:`repro.engine`; this module implements
+the :class:`~repro.engine.algorithm.Algorithm` strategy surface for the
+multi-GPU sampler.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +37,10 @@ from repro.corpus.corpus import Corpus, TokenChunk
 from repro.core.kernels import KernelConfig, accumulate_phi
 from repro.core.likelihood import _doc_log_likelihood, word_log_likelihood
 from repro.core.model import LDAHyperParams, SparseTheta
+from repro.engine.algorithm import Algorithm, IterationOutcome
+from repro.engine.loop import LoopConfig, TrainingLoop
+from repro.engine.results import IterationStats, TrainResult
+from repro.engine.state import RunState
 from repro.gpusim.costmodel import KernelCost
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.platform import Machine, volta_platform
@@ -41,13 +49,14 @@ from repro.sched.schedule import (
     ChunkRuntime,
     DeviceChunk,
     GpuWorker,
+    busy_fractions,
     download_chunk,
+    iteration_trace_stats,
     run_iteration_resident,
     run_iteration_streaming,
     upload_chunk,
 )
 from repro.telemetry.context import emit_gauge, emit_observe
-from repro.telemetry.mixin import TelemetryMixin
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -64,6 +73,9 @@ __all__ = [
 BREAKDOWN_KINDS = (
     "sampling", "update_theta", "update_phi", "sync", "p2p", "h2d", "d2h",
 )
+
+#: Backward-compatible alias (the implementation moved to repro.sched).
+_busy_fractions = busy_fractions
 
 
 @dataclass(frozen=True)
@@ -112,116 +124,7 @@ class TrainConfig:
         )
 
 
-@dataclass(frozen=True)
-class IterationStats:
-    """Per-iteration measurements (the Fig 7 series)."""
-
-    iteration: int
-    sim_seconds: float
-    tokens_per_sec: float
-    mean_kd: float
-    p1_fraction: float
-    log_likelihood_per_token: float | None = None
-
-
-@dataclass
-class TrainResult:
-    """Outputs of one training run."""
-
-    corpus_name: str
-    machine_name: str
-    num_gpus: int
-    num_tokens: int
-    plan_chunks: int
-    chunks_per_gpu: int
-    iterations: list[IterationStats]
-    total_sim_seconds: float
-    wall_seconds: float
-    breakdown: dict[str, float]
-    phi: np.ndarray
-    theta: SparseTheta
-    hyper: LDAHyperParams
-    #: High-water device-memory mark across GPUs (bytes) — what §5.1's
-    #: chunking decision actually bounded.
-    peak_device_bytes: int = 0
-    #: Per-token topic assignment in the ORIGINAL corpus token order
-    #: (int32[T]); None only for legacy constructions.
-    topics: np.ndarray | None = None
-
-    @property
-    def avg_tokens_per_sec(self) -> float:
-        """Eq 2 over the whole run: T × iters / simulated elapsed."""
-        iters = len(self.iterations)
-        if self.total_sim_seconds == 0:
-            return 0.0
-        return self.num_tokens * iters / self.total_sim_seconds
-
-    @property
-    def final_log_likelihood(self) -> float | None:
-        for it in reversed(self.iterations):
-            if it.log_likelihood_per_token is not None:
-                return it.log_likelihood_per_token
-        return None
-
-    def top_words(self, topic: int, n: int = 10) -> list[int]:
-        """Word ids with the highest φ counts for *topic*."""
-        if not 0 <= topic < self.phi.shape[0]:
-            raise IndexError("topic out of range")
-        col = self.phi[topic]
-        return [int(w) for w in np.argsort(col)[::-1][:n]]
-
-    def summary(self) -> str:
-        ll = self.final_log_likelihood
-        lines = [
-            f"CuLDA_CGS on {self.machine_name} ({self.num_gpus} GPU(s))",
-            f"  corpus: {self.corpus_name}  T={self.num_tokens:,}  "
-            f"K={self.hyper.num_topics}",
-            f"  chunks: C={self.plan_chunks} (M={self.chunks_per_gpu})",
-            f"  iterations: {len(self.iterations)}  "
-            f"simulated: {self.total_sim_seconds:.3f}s  "
-            f"wall: {self.wall_seconds:.1f}s",
-            f"  throughput: {self.avg_tokens_per_sec / 1e6:.1f}M tokens/sec (simulated)",
-        ]
-        if ll is not None:
-            lines.append(f"  log-likelihood/token: {ll:.4f}")
-        parts = ", ".join(
-            f"{k} {self.breakdown.get(k, 0.0) * 100:.1f}%"
-            for k in BREAKDOWN_KINDS
-        )
-        lines.append(f"  breakdown: {parts}")
-        return "\n".join(lines)
-
-
-def _busy_fractions(intervals, device_ids, t0: float, t1: float) -> dict[int, float]:
-    """Per-device busy share of the window [t0, t1] (overlap-merged)."""
-    out = {int(d): 0.0 for d in device_ids}
-    dt = t1 - t0
-    if dt <= 0:
-        return out
-    by_dev: dict[int, list[tuple[float, float]]] = {d: [] for d in out}
-    for iv in intervals:
-        if iv.device_id in by_dev:
-            s, e = max(iv.start, t0), min(iv.end, t1)
-            if e > s:
-                by_dev[iv.device_id].append((s, e))
-    for d, spans in by_dev.items():
-        spans.sort()
-        busy = 0.0
-        cur_s = cur_e = None
-        for s, e in spans:
-            if cur_e is None or s > cur_e:
-                if cur_e is not None:
-                    busy += cur_e - cur_s
-                cur_s, cur_e = s, e
-            else:
-                cur_e = max(cur_e, e)
-        if cur_e is not None:
-            busy += cur_e - cur_s
-        out[d] = busy / dt
-    return out
-
-
-class CuLDA(TelemetryMixin):
+class CuLDA(Algorithm):
     """The CuLDA_CGS trainer.
 
     Parameters
@@ -240,8 +143,13 @@ class CuLDA(TelemetryMixin):
     bit-identical models *regardless of the GPU count*, because each
     chunk owns an independent RNG spawned by chunk id and the integer φ
     reduction is order-independent. (Requires the same chunk count C —
-    pin ``chunks_per_gpu`` when comparing across G.)
+    pin ``chunks_per_gpu`` when comparing across G.) Checkpoints written
+    by ``train(save_every=...)`` resume bit-identically too: they carry
+    every chunk's topic assignments, θ and RNG stream position, and φ is
+    recounted exactly from the restored assignments.
     """
+
+    name = "culda"
 
     def __init__(
         self,
@@ -267,6 +175,10 @@ class CuLDA(TelemetryMixin):
         self._warm_start_phi = warm_start_phi
         self._validate_compression()
 
+    @property
+    def hyper(self) -> LDAHyperParams:
+        return self.config.hyper()
+
     def _validate_compression(self) -> None:
         cfg = self.config
         if not cfg.compressed:
@@ -280,19 +192,45 @@ class CuLDA(TelemetryMixin):
             )
 
     # ------------------------------------------------------------------
-    def train(self, callbacks=None) -> TrainResult:
+    def train(
+        self,
+        callbacks=None,
+        *,
+        save_every: int = 0,
+        checkpoint_path=None,
+        resume=None,
+        vocabulary=None,
+    ) -> TrainResult:
         """Run the full training loop (Alg 1). Returns a TrainResult.
 
         *callbacks* extends the constructor's callback list for this run
-        only. A telemetry session over ``self.registry`` is active for
-        the duration, so kernel-level counters (sampler branch counts,
+        only. ``save_every``/``checkpoint_path`` write full run-state
+        checkpoints every N iterations; ``resume`` continues from such a
+        checkpoint (path or :class:`RunState`) bit-identically. A
+        telemetry session over ``self.registry`` is active for the
+        duration, so kernel-level counters (sampler branch counts,
         transfer bytes, φ high-water) accumulate there.
         """
-        with self._telemetry_run(callbacks):
-            return self._train_impl()
+        cfg = self.config
+        loop = TrainingLoop(
+            self,
+            LoopConfig(
+                iterations=cfg.iterations,
+                likelihood_every=cfg.likelihood_every,
+                stop_rel_tolerance=cfg.stop_rel_tolerance,
+                save_every=save_every,
+                checkpoint_path=checkpoint_path,
+                vocabulary=vocabulary,
+            ),
+            callbacks=callbacks,
+            resume=resume,
+        )
+        return loop.run()
 
-    def _train_impl(self) -> TrainResult:
-        wall_start = time.perf_counter()
+    # ------------------------------------------------------------------
+    # Algorithm strategy surface
+    # ------------------------------------------------------------------
+    def init_state(self, resume: RunState | None = None) -> RunState:
         cfg = self.config
         hyper = cfg.hyper()
         kcfg = cfg.kernel_config()
@@ -309,29 +247,17 @@ class CuLDA(TelemetryMixin):
                 chunks_per_gpu=cfg.chunks_per_gpu,
             )
             runtimes = self._init_runtimes(plan, hyper, kcfg)
+            if resume is not None:
+                self._restore_runtimes(runtimes, resume, hyper, kcfg)
             phi_host = self._initial_phi(runtimes, hyper, kcfg)
         workers = [
             GpuWorker(dev, hyper.num_topics, self.corpus.num_words, kcfg)
             for dev in machine.gpus
         ]
-        self._fire(
-            "on_train_start",
-            {
-                "corpus": self.corpus.name,
-                "machine": machine.name,
-                "num_gpus": G,
-                "num_tokens": self.corpus.num_tokens,
-                "num_topics": hyper.num_topics,
-                "num_chunks": plan.num_chunks,
-                "chunks_per_gpu": plan.chunks_per_gpu,
-                "iterations_planned": cfg.iterations,
-                "sync_algorithm": cfg.sync_algorithm,
-            },
-        )
 
-        # --- initial distribution (Alg 1 lines 7-9) -------------------
+        # Initial distribution (Alg 1 lines 7-9).
         dev_chunks: list[DeviceChunk] = []
-        for g, w in enumerate(workers):
+        for w in workers:
             machine.memcpy_h2d(w.phi_full, phi_host, stream=w.upload, label="h2d:phi")
             self._launch_nk(w, kcfg)
         if plan.chunks_per_gpu == 1:
@@ -342,173 +268,190 @@ class CuLDA(TelemetryMixin):
         machine.synchronize()
         machine.reset_clock()  # measure iterations from t=0, as Fig 7 does
 
-        # --- iteration loop (Alg 1 lines 10-16 / 23-34) ----------------
-        detector = None
-        if cfg.stop_rel_tolerance is not None:
-            if not cfg.likelihood_every:
+        self._hyper, self._kcfg = hyper, kcfg
+        self._plan, self._runtimes = plan, runtimes
+        self._workers, self._dev_chunks = workers, dev_chunks
+        self._t_prev = 0.0
+        self._peak_device_bytes = 0
+
+        state = resume if resume is not None else RunState(algo=self.name)
+        # The simulated clock restarts at 0 on resume; sim totals keep
+        # telescoping from the checkpoint's accumulated seconds.
+        self._sim_base = state.sim_seconds
+        self.capture_state(state)
+        return state
+
+    def _restore_runtimes(
+        self,
+        runtimes: list[ChunkRuntime],
+        state: RunState,
+        hyper: LDAHyperParams,
+        kcfg: KernelConfig,
+    ) -> None:
+        """Overwrite freshly initialized chunk runtimes with checkpoint
+        state (topics z, θ, RNG stream position), validating shape."""
+        if len(state.topics) != len(runtimes):
+            raise ValueError(
+                f"checkpoint has {len(state.topics)} chunk(s), this run "
+                f"plans {len(runtimes)}; pin chunks_per_gpu to match"
+            )
+        if state.thetas is None or len(state.rngs) != len(runtimes):
+            raise ValueError("checkpoint is missing per-chunk sampler state")
+        dtype = hyper.topic_dtype(kcfg.compressed)
+        for i, rt in enumerate(runtimes):
+            topics = state.topics[i]
+            if topics.size != rt.chunk.num_tokens:
                 raise ValueError(
-                    "stop_rel_tolerance requires likelihood_every > 0"
+                    "checkpoint chunk sizes do not match this corpus/plan"
                 )
-            from repro.analysis.convergence import ConvergenceDetector
+            rt.topics = topics.astype(dtype, copy=False)
+            rt.theta = state.thetas[i]
+            rt.rng = state.rngs[i]
 
-            detector = ConvergenceDetector(rel_tolerance=cfg.stop_rel_tolerance)
+    def start_event(self, state: RunState) -> dict:
+        return {
+            "machine": self.machine.name,
+            "num_gpus": len(self.machine.gpus),
+            "num_chunks": self._plan.num_chunks,
+            "chunks_per_gpu": self._plan.chunks_per_gpu,
+            "sync_algorithm": self.config.sync_algorithm,
+        }
 
-        stats: list[IterationStats] = []
-        t_prev = 0.0
-        for it in range(cfg.iterations):
-            iv0 = len(machine.trace.intervals)
-            with span("iteration"):
-                if plan.chunks_per_gpu == 1:
-                    run_iteration_resident(
-                        machine, workers, runtimes, dev_chunks, hyper, kcfg,
-                        cfg.sync_algorithm,
-                    )
-                else:
-                    run_iteration_streaming(
-                        machine, workers, runtimes, hyper, kcfg,
-                        plan.chunks_per_gpu, cfg.sync_algorithm,
-                        overlap=cfg.overlap_transfers,
-                    )
-                t_now = machine.synchronize()
-            dt = t_now - t_prev
-            new_ivs = machine.trace.intervals[iv0:]
-            sync_seconds = sum(
-                iv.duration for iv in new_ivs if iv.kind == "sync"
-            )
-            p2p_bytes = sum(
-                iv.bytes_moved for iv in new_ivs if iv.kind == "p2p"
-            )
-            busy = _busy_fractions(
-                new_ivs, [d.device_id for d in machine.gpus], t_prev, t_now
-            )
-            t_prev = t_now
-            self._fire(
-                "on_sync_end",
-                {
-                    "iteration": it,
-                    "sync_seconds": sync_seconds,
-                    "p2p_bytes": p2p_bytes,
-                },
-            )
-            ll = None
-            if cfg.likelihood_every and (it + 1) % cfg.likelihood_every == 0:
-                with span("likelihood"):
-                    ll = self._likelihood(runtimes, workers[0], hyper)
-            kd = np.array([r.last_stats.mean_kd for r in runtimes])
-            p1 = np.array([r.last_stats.p1_fraction for r in runtimes])
-            weights = np.array([r.chunk.num_tokens for r in runtimes], dtype=float)
-            weights /= weights.sum()
-            tps = self.corpus.num_tokens / dt if dt > 0 else 0.0
-            stats.append(
-                IterationStats(
-                    iteration=it,
-                    sim_seconds=dt,
-                    tokens_per_sec=tps,
-                    mean_kd=float(kd @ weights),
-                    p1_fraction=float(p1 @ weights),
-                    log_likelihood_per_token=ll,
+    def run_iteration(self, state: RunState) -> IterationOutcome:
+        """One WorkSchedule1/2 pass (Alg 1 lines 10-16 / 23-34)."""
+        cfg = self.config
+        machine = self.machine
+        runtimes, workers = self._runtimes, self._workers
+        iv0 = len(machine.trace.intervals)
+        with span("iteration"):
+            if self._plan.chunks_per_gpu == 1:
+                run_iteration_resident(
+                    machine, workers, runtimes, self._dev_chunks,
+                    self._hyper, self._kcfg, cfg.sync_algorithm,
                 )
-            )
-            emit_observe(
-                "iteration_sim_seconds", dt,
-                help="simulated duration of one training iteration",
-            )
+            else:
+                run_iteration_streaming(
+                    machine, workers, runtimes, self._hyper, self._kcfg,
+                    self._plan.chunks_per_gpu, cfg.sync_algorithm,
+                    overlap=cfg.overlap_transfers,
+                )
+            t_now = machine.synchronize()
+        dt = t_now - self._t_prev
+        sync_seconds, p2p_bytes, busy = iteration_trace_stats(
+            machine.trace.intervals[iv0:],
+            [d.device_id for d in machine.gpus],
+            self._t_prev,
+            t_now,
+        )
+        self._t_prev = t_now
+
+        kd = np.array([r.last_stats.mean_kd for r in runtimes])
+        p1 = np.array([r.last_stats.p1_fraction for r in runtimes])
+        weights = np.array([r.chunk.num_tokens for r in runtimes], dtype=float)
+        weights /= weights.sum()
+        tps = self.corpus.num_tokens / dt if dt > 0 else 0.0
+
+        emit_observe(
+            "iteration_sim_seconds", dt,
+            help="simulated duration of one training iteration",
+        )
+        emit_gauge(
+            "train_tokens_per_sec", tps,
+            help="simulated sampling throughput (Eq 2)",
+        )
+        for d, f in busy.items():
             emit_gauge(
-                "train_tokens_per_sec", tps,
-                help="simulated sampling throughput (Eq 2)",
+                "device_busy_fraction", f,
+                help="device busy share of the last iteration",
+                device=str(d),
             )
-            for d, f in busy.items():
-                emit_gauge(
-                    "device_busy_fraction", f,
-                    help="device busy share of the last iteration",
-                    device=str(d),
-                )
-            self._fire(
-                "on_iteration_end",
-                {
-                    "iteration": it,
-                    "sim_seconds": dt,
-                    "tokens_per_sec": tps,
-                    "mean_kd": stats[-1].mean_kd,
-                    "p1_fraction": stats[-1].p1_fraction,
-                    "p1_draws": sum(r.last_stats.p1_draws for r in runtimes),
-                    "p2_draws": sum(
-                        r.last_stats.num_tokens - r.last_stats.p1_draws
-                        for r in runtimes
-                    ),
-                    "tree_probe_levels": sum(
-                        r.last_stats.tree_probe_levels for r in runtimes
-                    ),
-                    "device_busy_fraction": busy,
-                    "log_likelihood_per_token": ll,
-                    "phi": lambda w=workers[0]: (
-                        w.phi_full.data.astype(np.int32).copy()
-                    ),
-                },
-            )
-            if detector is not None and ll is not None and detector.update(ll):
-                break
-        total_sim = machine.synchronize()
+        return IterationOutcome(
+            sim_seconds=dt,
+            tokens_per_sec=tps,
+            stats={
+                "mean_kd": float(kd @ weights),
+                "p1_fraction": float(p1 @ weights),
+            },
+            sync_event={
+                "sync_seconds": sync_seconds,
+                "p2p_bytes": p2p_bytes,
+            },
+            event={
+                "mean_kd": float(kd @ weights),
+                "p1_fraction": float(p1 @ weights),
+                "p1_draws": sum(r.last_stats.p1_draws for r in runtimes),
+                "p2_draws": sum(
+                    r.last_stats.num_tokens - r.last_stats.p1_draws
+                    for r in runtimes
+                ),
+                "tree_probe_levels": sum(
+                    r.last_stats.tree_probe_levels for r in runtimes
+                ),
+                "device_busy_fraction": busy,
+                "phi": lambda w=workers[0]: (
+                    w.phi_full.data.astype(np.int32).copy()
+                ),
+            },
+        )
 
-        # --- final collection (Alg 1 lines 17-20 / 35) -----------------
+    def log_likelihood(self, state: RunState) -> float:
+        with span("likelihood"):
+            return self._likelihood(self._runtimes, self._workers[0], self._hyper)
+
+    def capture_state(self, state: RunState) -> None:
+        state.phi = self._workers[0].phi_full.data.astype(np.int32).copy()
+        state.topics = [r.topics for r in self._runtimes]
+        state.thetas = [r.theta for r in self._runtimes]
+        state.rngs = [r.rng for r in self._runtimes]
+
+    def finalize(self, state: RunState, wall_seconds: float) -> TrainResult:
+        machine = self.machine
+        runtimes, workers = self._runtimes, self._workers
+        plan, hyper = self._plan, self._hyper
+        G = len(machine.gpus)
+        total_sim = self._sim_base + machine.synchronize()
+
+        # Final collection (Alg 1 lines 17-20 / 35).
         machine.memcpy_d2h(workers[0].phi_full, stream=workers[0].download,
                            label="d2h:phi")
         if plan.chunks_per_gpu == 1:
             for g in range(G):
-                download_chunk(machine, workers[g], runtimes[g], dev_chunks[g])
+                download_chunk(machine, workers[g], runtimes[g],
+                               self._dev_chunks[g])
         machine.synchronize()
-
-        with span("likelihood"):
-            final_ll = self._likelihood(runtimes, workers[0], hyper)
-        if stats:
-            last = stats[-1]
-            stats[-1] = IterationStats(
-                iteration=last.iteration,
-                sim_seconds=last.sim_seconds,
-                tokens_per_sec=last.tokens_per_sec,
-                mean_kd=last.mean_kd,
-                p1_fraction=last.p1_fraction,
-                log_likelihood_per_token=final_ll,
-            )
 
         breakdown = machine.trace.breakdown_fractions(BREAKDOWN_KINDS)
         phi_final = workers[0].phi_full.data.astype(np.int32).copy()
-        theta_final = self._merge_theta(runtimes, hyper)
+        theta_final = SparseTheta.concatenate(
+            [r.theta for r in runtimes], hyper.num_topics
+        )
         topics_final = self._merge_topics(runtimes)
         peak = max(gpu.allocator.peak_bytes for gpu in machine.gpus)
         for w in workers:
             w.free_all()
+        self._peak_device_bytes = peak
 
-        result = TrainResult(
+        return TrainResult(
             corpus_name=self.corpus.name,
             machine_name=machine.name,
             num_gpus=G,
             num_tokens=self.corpus.num_tokens,
             plan_chunks=plan.num_chunks,
             chunks_per_gpu=plan.chunks_per_gpu,
-            iterations=stats,
+            iterations=list(state.history),
             total_sim_seconds=total_sim,
-            wall_seconds=time.perf_counter() - wall_start,
+            wall_seconds=wall_seconds,
             breakdown=breakdown,
             phi=phi_final,
             theta=theta_final,
             hyper=hyper,
             peak_device_bytes=peak,
             topics=topics_final,
+            algo=self.name,
         )
-        self._fire(
-            "on_train_end",
-            {
-                "iterations": len(stats),
-                "total_sim_seconds": total_sim,
-                "wall_seconds": result.wall_seconds,
-                "avg_tokens_per_sec": result.avg_tokens_per_sec,
-                "log_likelihood_per_token": final_ll,
-                "peak_device_bytes": peak,
-                "result": result,
-            },
-        )
-        return result
+
+    def end_event(self, state: RunState, result: TrainResult) -> dict:
+        return {"peak_device_bytes": self._peak_device_bytes}
 
     # ------------------------------------------------------------------
     # Internals
@@ -561,7 +504,12 @@ class CuLDA(TelemetryMixin):
         hyper: LDAHyperParams,
         kcfg: KernelConfig,
     ) -> np.ndarray:
-        """The full initial φ (host-side, part of preprocessing)."""
+        """The full initial φ (host-side, part of preprocessing).
+
+        On resume this recounts φ from the restored assignments, which
+        reproduces the checkpoint's synchronized φ exactly (integer
+        counts are a pure function of z).
+        """
         phi = np.zeros((hyper.num_topics, self.corpus.num_words), dtype=np.int64)
         for r in runtimes:
             phi += accumulate_phi(r.chunk, r.topics, hyper.num_topics)
@@ -613,20 +561,3 @@ class CuLDA(TelemetryMixin):
             base = int(self.corpus.doc_indptr[r.chunk.doc_offset])
             out[base + r.chunk.source_pos] = r.topics.astype(np.int32)
         return out
-
-    def _merge_theta(
-        self, runtimes: list[ChunkRuntime], hyper: LDAHyperParams
-    ) -> SparseTheta:
-        """Concatenate the chunk θs into one corpus-wide CSR (chunks
-        partition documents contiguously and in order)."""
-        indptrs = [runtimes[0].theta.indptr]
-        offset = runtimes[0].theta.indptr[-1]
-        for r in runtimes[1:]:
-            indptrs.append(r.theta.indptr[1:] + offset)
-            offset += r.theta.indptr[-1]
-        return SparseTheta(
-            np.concatenate(indptrs),
-            np.concatenate([r.theta.indices for r in runtimes]),
-            np.concatenate([r.theta.data for r in runtimes]),
-            hyper.num_topics,
-        )

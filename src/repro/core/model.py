@@ -151,6 +151,43 @@ class SparseTheta:
         idx_dtype = np.uint16 if (compressed and K < MAX_COMPRESSED_TOPICS) else np.int32
         return cls(indptr, col_ids.astype(idx_dtype), counts.astype(np.int32), K)
 
+    @classmethod
+    def concatenate(
+        cls, thetas: "list[SparseTheta]", num_topics: int
+    ) -> "SparseTheta":
+        """Stack per-chunk θs into one matrix (chunks partition the
+        documents contiguously and in order)."""
+        if not thetas:
+            raise ValueError("need at least one SparseTheta to concatenate")
+        indptrs = [thetas[0].indptr]
+        offset = thetas[0].indptr[-1]
+        for t in thetas[1:]:
+            indptrs.append(t.indptr[1:] + offset)
+            offset += t.indptr[-1]
+        return cls(
+            np.concatenate(indptrs),
+            np.concatenate([t.indices for t in thetas]),
+            np.concatenate([t.data for t in thetas]),
+            num_topics,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, num_topics: int) -> "SparseTheta":
+        """CSR-compact a dense ``[num_docs, K]`` count matrix (rows stay
+        sorted by topic id, matching :meth:`from_assignments`)."""
+        K = int(num_topics)
+        docs, cols = np.nonzero(dense)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, docs + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        idx_dtype = np.uint16 if K < MAX_COMPRESSED_TOPICS else np.int32
+        return cls(
+            indptr,
+            cols.astype(idx_dtype),
+            dense[docs, cols].astype(np.int32),
+            K,
+        )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SparseTheta):
             return NotImplemented

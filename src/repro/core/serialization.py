@@ -1,9 +1,22 @@
-"""Model checkpointing: save/load trained LDA models.
+"""Model checkpointing: save/load trained models and mid-run states.
 
 A trained model is (φ, θ, hyperparameters, metadata). Checkpoints are
 single ``.npz`` files — the library equivalent of the paper's
 "CPU collects the trained model from all GPUs" final step (Alg 1,
 lines 17–20).
+
+Format version 2 adds two things over version 1:
+
+- θ became optional (SCVB0 keeps expected counts, not a CSR θ) and
+  every checkpoint records which algorithm wrote it, so any trainer's
+  output feeds ``repro-lda infer`` / ``project``;
+- :func:`save_run_state` / :func:`load_run_state` persist the *full*
+  sampler state (per-shard topic assignments, θ counts, RNG stream
+  positions, iteration history) so a run can stop mid-way and resume
+  bit-identically. A run-state file is a superset of a model
+  checkpoint: :func:`load_model` reads it too.
+
+Version 1 files remain loadable.
 """
 
 from __future__ import annotations
@@ -15,10 +28,31 @@ import numpy as np
 
 from repro.core.model import LDAHyperParams, SparseTheta
 from repro.corpus.corpus import Vocabulary
+from repro.engine.results import IterationStats
+from repro.engine.state import RunState, freeze_rng_state, thaw_rng_state
 
-__all__ = ["ModelCheckpoint", "save_model", "load_model"]
+__all__ = [
+    "ModelCheckpoint",
+    "save_model",
+    "load_model",
+    "save_run_state",
+    "load_run_state",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions ``load_model`` accepts (v1 lacked ``algo`` and optional θ).
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: IterationStats history, serialized as parallel arrays.
+_HISTORY_FLOAT_FIELDS = (
+    "sim_seconds",
+    "tokens_per_sec",
+    "mean_kd",
+    "p1_fraction",
+    "network_seconds",
+    "compute_seconds",
+)
 
 
 @dataclass(frozen=True)
@@ -26,10 +60,11 @@ class ModelCheckpoint:
     """A loaded model checkpoint."""
 
     phi: np.ndarray
-    theta: SparseTheta
+    theta: SparseTheta | None
     hyper: LDAHyperParams
     corpus_name: str
     vocabulary: "Vocabulary | None" = None
+    algo: str = "culda"
 
     @property
     def num_topics(self) -> int:
@@ -40,35 +75,56 @@ class ModelCheckpoint:
         return int(self.phi.shape[1])
 
 
+def _model_fields(
+    phi: np.ndarray,
+    theta: SparseTheta | None,
+    hyper: LDAHyperParams,
+    corpus_name: str,
+    algo: str,
+    vocabulary,
+) -> dict:
+    fields = dict(
+        format_version=np.int64(FORMAT_VERSION),
+        phi=phi,
+        num_topics=np.int64(hyper.num_topics),
+        alpha=np.float64(hyper.alpha),
+        beta=np.float64(hyper.beta),
+        corpus_name=np.array(corpus_name),
+        algo=np.array(algo),
+    )
+    if theta is not None:
+        fields["theta_indptr"] = theta.indptr
+        fields["theta_indices"] = theta.indices
+        fields["theta_data"] = theta.data
+    if vocabulary is not None:
+        if len(vocabulary) != phi.shape[1]:
+            raise ValueError("vocabulary size does not match phi columns")
+        fields["vocabulary"] = np.array(list(vocabulary), dtype=np.str_)
+    return fields
+
+
 def save_model(result, path: str | Path, vocabulary=None) -> None:
-    """Persist a :class:`~repro.core.culda.TrainResult` (or anything with
-    ``phi``/``theta``/``hyper``/``corpus_name``) to *path* (.npz).
+    """Persist a :class:`~repro.engine.results.TrainResult` (or anything
+    with ``phi``/``hyper``/``corpus_name``, optionally ``theta`` and
+    ``algo``) to *path* (.npz).
 
     Pass the corpus ``vocabulary`` to store human-readable words with
     the model (so ``load_model(...).vocabulary.word_of(id)`` works).
     """
-    path = Path(path)
-    theta = result.theta
-    fields = dict(
-        format_version=np.int64(FORMAT_VERSION),
-        phi=result.phi,
-        theta_indptr=theta.indptr,
-        theta_indices=theta.indices,
-        theta_data=theta.data,
-        num_topics=np.int64(result.hyper.num_topics),
-        alpha=np.float64(result.hyper.alpha),
-        beta=np.float64(result.hyper.beta),
-        corpus_name=np.array(result.corpus_name),
+    fields = _model_fields(
+        result.phi,
+        getattr(result, "theta", None),
+        result.hyper,
+        result.corpus_name,
+        str(getattr(result, "algo", "culda")),
+        vocabulary,
     )
-    if vocabulary is not None:
-        if len(vocabulary) != result.phi.shape[1]:
-            raise ValueError("vocabulary size does not match phi columns")
-        fields["vocabulary"] = np.array(list(vocabulary), dtype=np.str_)
-    np.savez_compressed(path, **fields)
+    np.savez_compressed(Path(path), **fields)
 
 
 def load_model(path: str | Path) -> ModelCheckpoint:
-    """Load a checkpoint written by :func:`save_model`.
+    """Load a checkpoint written by :func:`save_model` (format 1 or 2)
+    or :func:`save_run_state`.
 
     Raises
     ------
@@ -79,32 +135,169 @@ def load_model(path: str | Path) -> ModelCheckpoint:
     with np.load(path, allow_pickle=False) as data:
         try:
             version = int(data["format_version"])
-            if version != FORMAT_VERSION:
+            if version not in _SUPPORTED_VERSIONS:
                 raise ValueError(
                     f"unsupported checkpoint version {version} "
-                    f"(expected {FORMAT_VERSION})"
+                    f"(expected one of {_SUPPORTED_VERSIONS})"
                 )
             hyper = LDAHyperParams(
                 num_topics=int(data["num_topics"]),
                 alpha=float(data["alpha"]),
                 beta=float(data["beta"]),
             )
-            theta = SparseTheta(
-                data["theta_indptr"],
-                data["theta_indices"],
-                data["theta_data"],
-                hyper.num_topics,
-            )
+            theta = None
+            if version == 1 or "theta_indptr" in data.files:
+                theta = SparseTheta(
+                    data["theta_indptr"],
+                    data["theta_indices"],
+                    data["theta_data"],
+                    hyper.num_topics,
+                )
             vocab = None
             if "vocabulary" in data.files:
                 vocab = Vocabulary(str(w) for w in data["vocabulary"])
                 vocab.freeze()
+            algo = str(data["algo"]) if "algo" in data.files else "culda"
             return ModelCheckpoint(
                 phi=np.asarray(data["phi"]),
                 theta=theta,
                 hyper=hyper,
                 corpus_name=str(data["corpus_name"]),
                 vocabulary=vocab,
+                algo=algo,
+            )
+        except KeyError as exc:
+            raise ValueError(f"malformed checkpoint {path}: missing {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Full run-state checkpoints (mid-run save / bit-identical resume)
+# ----------------------------------------------------------------------
+def save_run_state(
+    state: RunState,
+    path: str | Path,
+    *,
+    hyper: LDAHyperParams,
+    corpus_name: str,
+    vocabulary=None,
+) -> None:
+    """Write a full sampler-state checkpoint for *state* to *path*.
+
+    The file doubles as a model checkpoint (φ, hyperparameters,
+    vocabulary), so inference tooling accepts it directly; the extra
+    ``run_*`` fields carry what resume needs for bit-identical
+    continuation.
+    """
+    if state.phi is None:
+        raise ValueError("run state carries no phi; call capture_state first")
+    fields = _model_fields(
+        np.asarray(state.phi), None, hyper, corpus_name, state.algo, vocabulary
+    )
+    fields.update(
+        run_iteration=np.int64(state.iteration),
+        run_sim_seconds=np.float64(state.sim_seconds),
+        run_num_shards=np.int64(len(state.topics)),
+        run_has_theta=np.int64(state.thetas is not None),
+        run_rng_states=np.array(
+            [freeze_rng_state(g) for g in state.rngs], dtype=np.str_
+        ),
+    )
+    for i, topics in enumerate(state.topics):
+        fields[f"run_topics_{i}"] = topics
+    if state.thetas is not None:
+        for i, theta in enumerate(state.thetas):
+            fields[f"run_theta_indptr_{i}"] = theta.indptr
+            fields[f"run_theta_indices_{i}"] = theta.indices
+            fields[f"run_theta_data_{i}"] = theta.data
+    fields["run_extra_keys"] = np.array(sorted(state.extras), dtype=np.str_)
+    for key, value in state.extras.items():
+        fields[f"run_extra_{key}"] = np.asarray(value)
+    history = state.history
+    fields["run_hist_iteration"] = np.array(
+        [s.iteration for s in history], dtype=np.int64
+    )
+    for name in _HISTORY_FLOAT_FIELDS:
+        fields[f"run_hist_{name}"] = np.array(
+            [getattr(s, name) for s in history], dtype=np.float64
+        )
+    fields["run_hist_ll"] = np.array(
+        [
+            np.nan
+            if s.log_likelihood_per_token is None
+            else s.log_likelihood_per_token
+            for s in history
+        ],
+        dtype=np.float64,
+    )
+    np.savez_compressed(Path(path), **fields)
+
+
+def load_run_state(path: str | Path) -> RunState:
+    """Load a run-state checkpoint written by :func:`save_run_state`.
+
+    Raises
+    ------
+    ValueError
+        If the file is a plain model checkpoint (no sampler state), is
+        malformed, or has an unsupported version.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["format_version"])
+            if version not in _SUPPORTED_VERSIONS:
+                raise ValueError(
+                    f"unsupported checkpoint version {version} "
+                    f"(expected one of {_SUPPORTED_VERSIONS})"
+                )
+            if "run_iteration" not in data.files:
+                raise ValueError(
+                    f"{path} is a model checkpoint, not a run-state "
+                    "checkpoint; it cannot seed --resume"
+                )
+            num_topics = int(data["num_topics"])
+            num_shards = int(data["run_num_shards"])
+            topics = [data[f"run_topics_{i}"] for i in range(num_shards)]
+            thetas = None
+            if int(data["run_has_theta"]):
+                thetas = [
+                    SparseTheta(
+                        data[f"run_theta_indptr_{i}"],
+                        data[f"run_theta_indices_{i}"],
+                        data[f"run_theta_data_{i}"],
+                        num_topics,
+                    )
+                    for i in range(num_shards)
+                ]
+            rngs = [thaw_rng_state(str(s)) for s in data["run_rng_states"]]
+            extras = {
+                str(key): np.asarray(data[f"run_extra_{key}"])
+                for key in data["run_extra_keys"]
+            }
+            lls = data["run_hist_ll"]
+            floats = {
+                name: data[f"run_hist_{name}"] for name in _HISTORY_FLOAT_FIELDS
+            }
+            history = [
+                IterationStats(
+                    iteration=int(it),
+                    log_likelihood_per_token=(
+                        None if np.isnan(lls[i]) else float(lls[i])
+                    ),
+                    **{name: float(floats[name][i]) for name in floats},
+                )
+                for i, it in enumerate(data["run_hist_iteration"])
+            ]
+            return RunState(
+                algo=str(data["algo"]),
+                iteration=int(data["run_iteration"]),
+                sim_seconds=float(data["run_sim_seconds"]),
+                history=history,
+                phi=np.asarray(data["phi"]),
+                topics=topics,
+                thetas=thetas,
+                rngs=rngs,
+                extras=extras,
             )
         except KeyError as exc:
             raise ValueError(f"malformed checkpoint {path}: missing {exc}") from exc

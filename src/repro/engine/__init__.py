@@ -1,0 +1,40 @@
+"""The unified training engine.
+
+The paper's Alg 1 is one loop — sample, update, synchronize, evaluate —
+regardless of which sampler executes an iteration. This package owns
+that loop once, for CuLDA and every baseline:
+
+- :class:`~repro.engine.algorithm.Algorithm` — the strategy surface a
+  trainer implements (``init_state / run_iteration / finalize`` plus a
+  few event hooks);
+- :class:`~repro.engine.loop.TrainingLoop` — the single iteration
+  driver: likelihood cadence, convergence-based early stopping,
+  callback/telemetry dispatch, and periodic run-state checkpoints;
+- :class:`~repro.engine.state.RunState` — the shared, serializable
+  sampler state (φ, per-shard θ and topic assignments z, RNG states,
+  iteration counter, per-iteration history);
+- :class:`~repro.engine.results.TrainResult` /
+  :class:`~repro.engine.results.IterationStats` — the one result type
+  every trainer returns.
+
+See ``docs/ARCHITECTURE.md`` for the layer diagram.
+"""
+
+from repro.engine.hooks import TelemetryMixin
+from repro.engine.results import IterationStats, TrainResult
+from repro.engine.state import RunState, freeze_rng_state, thaw_rng_state
+from repro.engine.algorithm import Algorithm, IterationOutcome
+from repro.engine.loop import LoopConfig, TrainingLoop
+
+__all__ = [
+    "Algorithm",
+    "IterationOutcome",
+    "IterationStats",
+    "LoopConfig",
+    "RunState",
+    "TelemetryMixin",
+    "TrainResult",
+    "TrainingLoop",
+    "freeze_rng_state",
+    "thaw_rng_state",
+]

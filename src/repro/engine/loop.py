@@ -1,0 +1,208 @@
+"""The single training loop every trainer runs through.
+
+:class:`TrainingLoop` drives an :class:`~repro.engine.algorithm.Algorithm`
+for ``iterations`` passes: likelihood evaluation on a cadence,
+convergence-based early stopping, the four callback hooks
+(``on_train_start`` / ``on_sync_end`` / ``on_iteration_end`` /
+``on_train_end``), and periodic full-sampler-state checkpoints that
+:meth:`run` can later resume from bit-identically.
+
+The loop also guarantees the telemetry invariants the trainers used to
+maintain by hand: one ``train:<algo>`` span wraps the run, a telemetry
+session over the trainer's registry is active throughout, and the final
+iteration always carries a log-likelihood.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.engine.algorithm import Algorithm
+from repro.engine.results import IterationStats, TrainResult
+from repro.engine.state import RunState
+from repro.telemetry.spans import span
+
+__all__ = ["LoopConfig", "TrainingLoop"]
+
+
+@dataclass(frozen=True)
+class LoopConfig:
+    """Execution parameters of one run (algorithm-independent)."""
+
+    iterations: int
+    likelihood_every: int = 0           # 0 = only at the end
+    #: Early stopping: stop once the likelihood plateau's relative
+    #: improvement falls below this (requires likelihood_every > 0).
+    stop_rel_tolerance: float | None = None
+    #: Write a full run-state checkpoint every N iterations (0 = never).
+    save_every: int = 0
+    checkpoint_path: str | Path | None = None
+    #: Stored with checkpoints so any of them feeds `repro-lda infer`.
+    vocabulary: object | None = None
+
+
+class TrainingLoop:
+    """Drive one algorithm to completion (or resume it from disk).
+
+    Parameters
+    ----------
+    algorithm: the trainer strategy.
+    config: execution parameters.
+    callbacks: extra :class:`~repro.telemetry.callbacks.TrainerCallback`
+        instances for this run only (merged after the constructor's).
+    resume: a :class:`RunState`, or a path to a run-state checkpoint
+        written by a previous run's ``save_every``.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        config: LoopConfig,
+        callbacks=None,
+        resume: RunState | str | Path | None = None,
+    ):
+        self.algorithm = algorithm
+        self.config = config
+        self.callbacks = callbacks
+        self.resume = resume
+
+    # ------------------------------------------------------------------
+    def run(self) -> TrainResult:
+        algo = self.algorithm
+        cfg = self.config
+        if cfg.stop_rel_tolerance is not None and not cfg.likelihood_every:
+            raise ValueError("stop_rel_tolerance requires likelihood_every > 0")
+        if cfg.save_every and cfg.checkpoint_path is None:
+            raise ValueError("save_every requires a checkpoint_path")
+
+        resume_state = self._resolve_resume()
+        detector = None
+        if cfg.stop_rel_tolerance is not None:
+            from repro.analysis.convergence import ConvergenceDetector
+
+            detector = ConvergenceDetector(rel_tolerance=cfg.stop_rel_tolerance)
+
+        wall_start = time.perf_counter()
+        with algo._telemetry_run(self.callbacks):
+            with span(f"train:{algo.name}"):
+                state = algo.init_state(resume_state)
+                start = {
+                    "algo": algo.name,
+                    "corpus": algo.corpus.name,
+                    "num_tokens": algo.corpus.num_tokens,
+                    "num_topics": algo.hyper.num_topics,
+                    "iterations_planned": cfg.iterations,
+                }
+                start.update(algo.start_event(state))
+                if state.iteration:
+                    start["resumed_from_iteration"] = state.iteration
+                algo._fire("on_train_start", start)
+
+                while state.iteration < cfg.iterations:
+                    it = state.iteration
+                    outcome = algo.run_iteration(state)
+                    state.iteration = it + 1
+                    if outcome.sim_seconds:
+                        state.sim_seconds += outcome.sim_seconds
+
+                    cadence = bool(
+                        cfg.likelihood_every
+                        and (it + 1) % cfg.likelihood_every == 0
+                    )
+                    ll = None
+                    if cadence or it + 1 == cfg.iterations:
+                        ll = algo.log_likelihood(state)
+
+                    state.history.append(
+                        IterationStats(
+                            iteration=it,
+                            sim_seconds=outcome.sim_seconds or 0.0,
+                            tokens_per_sec=outcome.tokens_per_sec or 0.0,
+                            log_likelihood_per_token=ll,
+                            **outcome.stats,
+                        )
+                    )
+                    if outcome.sync_event is not None:
+                        algo._fire(
+                            "on_sync_end",
+                            {"iteration": it, **outcome.sync_event},
+                        )
+                    event = {
+                        "iteration": it,
+                        "log_likelihood_per_token": ll,
+                    }
+                    if outcome.sim_seconds is not None:
+                        event["sim_seconds"] = outcome.sim_seconds
+                        event["tokens_per_sec"] = outcome.tokens_per_sec or 0.0
+                    event.update(outcome.event)
+                    algo._fire("on_iteration_end", event)
+
+                    if cfg.save_every and (it + 1) % cfg.save_every == 0:
+                        self._save_checkpoint(state)
+                    if (
+                        detector is not None
+                        and cadence
+                        and ll is not None
+                        and detector.update(ll)
+                    ):
+                        break
+
+                # Early stop can leave the last iteration unevaluated.
+                if (
+                    state.history
+                    and state.history[-1].log_likelihood_per_token is None
+                ):
+                    state.history[-1] = replace(
+                        state.history[-1],
+                        log_likelihood_per_token=algo.log_likelihood(state),
+                    )
+                algo.capture_state(state)
+                if cfg.save_every and cfg.checkpoint_path is not None:
+                    self._save_checkpoint(state, captured=True)
+
+            result = algo.finalize(
+                state, wall_seconds=time.perf_counter() - wall_start
+            )
+            end = {
+                "iterations": len(state.history),
+                "total_sim_seconds": result.total_sim_seconds,
+                "wall_seconds": result.wall_seconds,
+                "avg_tokens_per_sec": result.avg_tokens_per_sec,
+                "log_likelihood_per_token": result.final_log_likelihood,
+            }
+            end.update(algo.end_event(state, result))
+            end["result"] = result
+            algo._fire("on_train_end", end)
+        return result
+
+    # ------------------------------------------------------------------
+    def _resolve_resume(self) -> RunState | None:
+        if self.resume is None:
+            return None
+        if isinstance(self.resume, RunState):
+            state = self.resume
+        else:
+            from repro.core.serialization import load_run_state
+
+            state = load_run_state(self.resume)
+        if state.algo != self.algorithm.name:
+            raise ValueError(
+                f"checkpoint was written by algorithm {state.algo!r}, "
+                f"cannot resume it with {self.algorithm.name!r}"
+            )
+        return state
+
+    def _save_checkpoint(self, state: RunState, captured: bool = False) -> None:
+        from repro.core.serialization import save_run_state
+
+        if not captured:
+            self.algorithm.capture_state(state)
+        save_run_state(
+            state,
+            self.config.checkpoint_path,
+            hyper=self.algorithm.hyper,
+            corpus_name=self.algorithm.corpus.name,
+            vocabulary=self.config.vocabulary,
+        )

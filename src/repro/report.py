@@ -40,21 +40,31 @@ def render_markdown(
     registry: "MetricsRegistry | None" = None,
 ) -> str:
     """Render a training run as GitHub-flavoured markdown."""
+    from repro.engine.results import _DISPLAY_NAMES
+
+    algo_name = _DISPLAY_NAMES.get(result.algo, result.algo)
+    if result.machine_name:
+        where = f"{result.machine_name} ({result.num_gpus} GPU(s))"
+    elif result.num_workers:
+        where = f"{result.num_workers}x {result.cpu_name or 'cpu'}"
+    else:
+        where = result.cpu_name or "host"
     lines: list[str] = []
-    lines.append(f"# CuLDA_CGS run report — {result.corpus_name}")
+    lines.append(f"# {algo_name} run report — {result.corpus_name}")
     lines.append("")
     lines.append("## Configuration")
     lines.append("")
     lines.append("| | |")
     lines.append("|---|---|")
-    lines.append(f"| machine | {result.machine_name} ({result.num_gpus} GPU(s)) |")
+    lines.append(f"| machine | {where} |")
     lines.append(f"| corpus | {result.corpus_name}, T = {result.num_tokens:,} |")
     lines.append(f"| topics (K) | {result.hyper.num_topics} |")
     lines.append(f"| α / β | {result.hyper.alpha:.4g} / {result.hyper.beta:.4g} |")
-    lines.append(
-        f"| chunking | C = {result.plan_chunks} (M = {result.chunks_per_gpu}, "
-        f"{'resident' if result.chunks_per_gpu == 1 else 'streaming'}) |"
-    )
+    if result.plan_chunks:
+        lines.append(
+            f"| chunking | C = {result.plan_chunks} (M = {result.chunks_per_gpu}, "
+            f"{'resident' if result.chunks_per_gpu == 1 else 'streaming'}) |"
+        )
     lines.append(f"| iterations | {len(result.iterations)} |")
     lines.append("")
 

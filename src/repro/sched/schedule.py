@@ -66,6 +66,8 @@ __all__ = [
     "run_iteration_resident",
     "run_iteration_streaming",
     "synchronize_model",
+    "busy_fractions",
+    "iteration_trace_stats",
 ]
 
 
@@ -457,3 +459,42 @@ def run_iteration_streaming(
             download_chunk(machine, worker, cr, dc, stream=down_stream)
         phi_ready.append(last_phi_ready)
     synchronize_model(machine, workers, hyper, config, phi_ready, sync_algorithm)
+
+
+def busy_fractions(intervals, device_ids, t0: float, t1: float) -> dict[int, float]:
+    """Per-device busy share of the window [t0, t1] (overlap-merged)."""
+    out = {int(d): 0.0 for d in device_ids}
+    dt = t1 - t0
+    if dt <= 0:
+        return out
+    by_dev: dict[int, list[tuple[float, float]]] = {d: [] for d in out}
+    for iv in intervals:
+        if iv.device_id in by_dev:
+            s, e = max(iv.start, t0), min(iv.end, t1)
+            if e > s:
+                by_dev[iv.device_id].append((s, e))
+    for d, spans in by_dev.items():
+        spans.sort()
+        busy = 0.0
+        cur_s = cur_e = None
+        for s, e in spans:
+            if cur_e is None or s > cur_e:
+                if cur_e is not None:
+                    busy += cur_e - cur_s
+                cur_s, cur_e = s, e
+            else:
+                cur_e = max(cur_e, e)
+        if cur_e is not None:
+            busy += cur_e - cur_s
+        out[d] = busy / dt
+    return out
+
+
+def iteration_trace_stats(
+    intervals, device_ids, t0: float, t1: float
+) -> tuple[float, float, dict[int, float]]:
+    """Summarize one iteration's trace slice: ``(sync_seconds,
+    p2p_bytes, busy_fraction_by_device)`` over the window [t0, t1]."""
+    sync_seconds = sum(iv.duration for iv in intervals if iv.kind == "sync")
+    p2p_bytes = sum(iv.bytes_moved for iv in intervals if iv.kind == "p2p")
+    return sync_seconds, p2p_bytes, busy_fractions(intervals, device_ids, t0, t1)

@@ -1,82 +1,7 @@
-"""The trainer-side telemetry surface shared by CuLDA and the baselines.
+"""Backward-compatible alias: the trainer telemetry mixin moved to
+:mod:`repro.engine.hooks` when callback dispatch was centralized in the
+training engine."""
 
-A trainer mixes this in, calls :meth:`_telemetry_init` from its
-``__init__``, and gains:
-
-- ``callbacks`` / ``registry`` constructor plumbing with a uniform
-  resolution order (explicit argument → active session's registry →
-  fresh registry),
-- :meth:`_fire` dispatch to every registered callback,
-- :meth:`_telemetry_run` — a context manager that activates a
-  telemetry session around ``train()`` so ``emit_*`` instrumentation
-  deep in the kernels lands in this trainer's registry.
-"""
-
-from __future__ import annotations
-
-from contextlib import contextmanager
-from typing import Iterable, Iterator
-
-from repro.telemetry.callbacks import CallbackList, TrainerCallback
-from repro.telemetry.context import (
-    TelemetrySession,
-    active_registry,
-    telemetry_session,
-)
-from repro.telemetry.registry import MetricsRegistry
+from repro.engine.hooks import TelemetryMixin
 
 __all__ = ["TelemetryMixin"]
-
-
-class TelemetryMixin:
-    """Callback + registry plumbing for trainers."""
-
-    callbacks: CallbackList
-    registry: MetricsRegistry | None
-
-    def _telemetry_init(
-        self,
-        callbacks: Iterable[TrainerCallback] | None = None,
-        registry: MetricsRegistry | None = None,
-    ) -> None:
-        self.callbacks = CallbackList(callbacks)
-        self.registry = registry
-        #: Host-side span trace of the last train() run (wall clock).
-        self.host_trace = None
-
-    def add_callback(self, cb: TrainerCallback) -> None:
-        self.callbacks.append(cb)
-
-    def _resolve_registry(self) -> MetricsRegistry:
-        if self.registry is not None:
-            return self.registry
-        active = active_registry()
-        if active is not None:
-            return active
-        self.registry = MetricsRegistry()
-        return self.registry
-
-    @contextmanager
-    def _telemetry_run(
-        self, extra_callbacks: Iterable[TrainerCallback] | None = None
-    ) -> Iterator[TelemetrySession]:
-        """Session + merged callback list for the duration of train().
-
-        Sets ``self._run_callbacks`` (constructor callbacks followed by
-        the per-call extras) for :meth:`_fire`, and activates a
-        telemetry session over the resolved registry so kernel-level
-        ``emit_*`` calls are captured.
-        """
-        registry = self._resolve_registry()
-        self._run_callbacks = self.callbacks.merged(extra_callbacks)
-        with telemetry_session(registry=registry) as session:
-            # Record the resolved sinks so post-train inspection
-            # (exporters, report, the profile CLI) sees what the run
-            # populated.
-            self.registry = registry
-            self.host_trace = session.trace
-            yield session
-
-    def _fire(self, hook: str, event: dict) -> None:
-        cbs: CallbackList = getattr(self, "_run_callbacks", self.callbacks)
-        cbs.fire(hook, event)

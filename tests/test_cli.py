@@ -232,3 +232,100 @@ class TestProfile:
         frac = rebuilt.breakdown_fractions(BREAKDOWN_KINDS)
         for kind, share in printed.items():
             assert frac[kind] == pytest.approx(share, abs=6e-4), kind
+
+
+class TestTrainAlgoSelection:
+    def test_train_warplda(self, capsys):
+        rc = main([
+            "train", "--algo", "warplda", "--synthetic", "nytimes",
+            "--tokens", "5000", "--topics", "8", "--iterations", "2",
+        ])
+        assert rc == 0
+        assert "WarpLDA on " in capsys.readouterr().out
+
+    def test_train_scvb0(self, capsys):
+        rc = main([
+            "train", "--algo", "scvb0", "--synthetic", "nytimes",
+            "--tokens", "5000", "--topics", "8", "--iterations", "2",
+        ])
+        assert rc == 0
+        assert "SCVB0" in capsys.readouterr().out
+
+    def test_train_ldastar_workers(self, capsys):
+        rc = main([
+            "train", "--algo", "ldastar", "--workers", "3",
+            "--synthetic", "nytimes", "--tokens", "5000",
+            "--topics", "8", "--iterations", "2",
+        ])
+        assert rc == 0
+        assert "LDA*" in capsys.readouterr().out
+
+    def test_saberlda_rejects_multi_gpu(self, capsys):
+        rc = main([
+            "train", "--algo", "saberlda", "--gpus", "2",
+            "--synthetic", "nytimes", "--tokens", "5000",
+            "--topics", "8", "--iterations", "2",
+        ])
+        assert rc == 2
+        assert "single GPU" in capsys.readouterr().err
+
+    def test_save_every_requires_save(self, capsys):
+        rc = main([
+            "train", "--synthetic", "nytimes", "--tokens", "5000",
+            "--topics", "8", "--iterations", "2", "--save-every", "2",
+        ])
+        assert rc == 2
+        assert "--save" in capsys.readouterr().err
+
+
+class TestCheckpointResumeCli:
+    CORPUS = [
+        "--synthetic", "nytimes", "--tokens", "6000",
+        "--topics", "8", "--seed", "1",
+    ]
+
+    def test_resume_matches_uninterrupted(self, capsys, tmp_path):
+        from repro.core.serialization import load_model
+
+        ckpt = tmp_path / "ckpt.npz"
+        rc = main([
+            "train", *self.CORPUS, "--iterations", "2",
+            "--save", str(ckpt), "--save-every", "2",
+        ])
+        assert rc == 0
+        assert "run-state checkpoint saved" in capsys.readouterr().out
+
+        resumed = tmp_path / "resumed.npz"
+        rc = main([
+            "train", *self.CORPUS, "--iterations", "4",
+            "--resume", str(ckpt), "--save", str(resumed),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+        fresh = tmp_path / "fresh.npz"
+        rc = main([
+            "train", *self.CORPUS, "--iterations", "4",
+            "--save", str(fresh),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+        a, b = load_model(resumed), load_model(fresh)
+        assert np.array_equal(a.phi, b.phi)
+        assert a.theta == b.theta
+
+    def test_resume_checkpoint_feeds_infer(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt.npz"
+        rc = main([
+            "train", *self.CORPUS, "--iterations", "2",
+            "--save", str(ckpt), "--save-every", "1",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "infer", "--model", str(ckpt), "--synthetic", "nytimes",
+            "--tokens", "2000", "--iterations", "2",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out

@@ -87,3 +87,88 @@ class TestVocabularyPersistence:
         p = tmp_path / "model_nv.npz"
         save_model(result, p)
         assert load_model(p).vocabulary is None
+
+    def test_baseline_result_keeps_vocab_and_corpus(self, tmp_path):
+        from repro.baselines.warplda import WarpLDA
+        from repro.core.model import LDAHyperParams
+        from repro.corpus.corpus import Vocabulary
+        from repro.corpus.synthetic import nytimes_like
+
+        corpus = nytimes_like(num_tokens=3_000, num_topics=4, seed=11)
+        res = WarpLDA(
+            corpus, LDAHyperParams(num_topics=4), seed=0
+        ).train(iterations=2)
+        vocab = Vocabulary(
+            f"w{i}" for i in range(corpus.num_words)
+        ).freeze()
+        p = tmp_path / "warplda.npz"
+        save_model(res, p, vocabulary=vocab)
+        ckpt = load_model(p)
+        assert ckpt.algo == "warplda"
+        assert ckpt.corpus_name == corpus.name
+        assert ckpt.vocabulary.word_of(1) == "w1"
+        assert ckpt.theta == res.theta
+
+
+class TestFormatCompat:
+    def test_version1_file_still_loads(self, result, tmp_path):
+        """Files written before the unified engine (format 1: no algo
+        field, θ mandatory) must keep loading, defaulting to culda."""
+        p = tmp_path / "v1.npz"
+        np.savez(
+            p,
+            format_version=np.int64(1),
+            phi=result.phi,
+            theta_indptr=result.theta.indptr,
+            theta_indices=result.theta.indices,
+            theta_data=result.theta.data,
+            num_topics=np.int64(result.hyper.num_topics),
+            alpha=np.float64(result.hyper.alpha),
+            beta=np.float64(result.hyper.beta),
+            corpus_name=np.array(result.corpus_name),
+        )
+        ckpt = load_model(p)
+        assert ckpt.algo == "culda"
+        assert np.array_equal(ckpt.phi, result.phi)
+        assert ckpt.theta == result.theta
+        assert ckpt.hyper == result.hyper
+
+    def test_theta_optional_in_version2(self, result, tmp_path):
+        from types import SimpleNamespace
+
+        bare = SimpleNamespace(
+            phi=result.phi,
+            hyper=result.hyper,
+            corpus_name=result.corpus_name,
+            algo="scvb0",
+        )
+        p = tmp_path / "no_theta.npz"
+        save_model(bare, p)
+        ckpt = load_model(p)
+        assert ckpt.theta is None
+        assert ckpt.algo == "scvb0"
+
+    def test_empty_document_theta_round_trip(self, result, tmp_path):
+        from types import SimpleNamespace
+
+        from repro.core.model import SparseTheta
+
+        theta = SparseTheta(
+            np.array([0, 2, 2, 3]),  # middle document is empty
+            np.array([0, 3, 1], dtype=np.uint16),
+            np.array([2, 1, 4], dtype=np.int32),
+            result.hyper.num_topics,
+        )
+        doc = SimpleNamespace(
+            phi=result.phi,
+            theta=theta,
+            hyper=result.hyper,
+            corpus_name="tiny",
+        )
+        p = tmp_path / "empty_doc.npz"
+        save_model(doc, p)
+        ckpt = load_model(p)
+        assert ckpt.theta == theta
+        topics, counts = ckpt.theta.row(1)
+        assert topics.size == 0 and counts.size == 0
+        assert ckpt.theta.num_docs == 3
