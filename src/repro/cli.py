@@ -35,6 +35,35 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 PLATFORMS = ("maxwell", "pascal", "volta", "dgx")
+RECOVERY_MODES = ("none", "retry", "elastic")
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="generate a synthetic twin corpus")
         p.add_argument("--vocab", metavar="FILE",
                        help="UCI vocab file (with --uci)")
-        p.add_argument("--tokens", type=int, default=50_000,
+        p.add_argument("--tokens", type=_positive_int, default=50_000,
                        help="twin size in tokens (with --synthetic)")
         p.add_argument("--seed", type=int, default=0)
 
@@ -67,20 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "ldastar"),
                    default="culda",
                    help="training algorithm (default: culda)")
-    t.add_argument("--topics", type=int, default=128, help="K")
-    t.add_argument("--iterations", type=int, default=100)
+    t.add_argument("--topics", type=_positive_int, default=128, help="K")
+    t.add_argument("--iterations", type=_positive_int, default=100)
     t.add_argument("--platform", choices=PLATFORMS, default="volta",
                    help="simulated platform (culda/saberlda)")
-    t.add_argument("--gpus", type=int, default=1)
-    t.add_argument("--workers", type=int, default=4,
+    t.add_argument("--gpus", type=_positive_int, default=1)
+    t.add_argument("--workers", type=_positive_int, default=4,
                    help="cluster size (ldastar)")
-    t.add_argument("--likelihood-every", type=int, default=0)
+    t.add_argument("--likelihood-every", type=_nonneg_int, default=0)
     t.add_argument("--no-compression", action="store_true",
                    help="disable 16-bit compression (§6.1.3)")
     t.add_argument("--sync", choices=("gpu_tree", "ring", "cpu_gather"),
                    default="gpu_tree")
     t.add_argument("--save", metavar="FILE", help="write model checkpoint")
-    t.add_argument("--save-every", type=int, default=0, metavar="N",
+    t.add_argument("--save-every", type=_nonneg_int, default=0, metavar="N",
                    help="write a full run-state checkpoint to --save FILE "
                    "every N iterations (resumable with --resume)")
     t.add_argument("--resume", metavar="FILE",
@@ -88,13 +117,22 @@ def build_parser() -> argparse.ArgumentParser:
                    "checkpoint")
     t.add_argument("--report", metavar="FILE",
                    help="write a markdown run report")
-    t.add_argument("--top-words", type=int, default=0,
+    t.add_argument("--top-words", type=_nonneg_int, default=0,
                    help="print N top word-ids per topic")
+    t.add_argument("--faults", metavar="PLAN.json",
+                   help="inject the faults described in a JSON fault plan "
+                   "(culda only; see docs/ROBUSTNESS.md)")
+    t.add_argument("--recovery", choices=RECOVERY_MODES, default=None,
+                   help="fault-recovery policy: retry transient transfers "
+                   "and roll back corrupted state ('retry'), additionally "
+                   "re-partition over surviving GPUs on device loss "
+                   "('elastic'), or fail fast ('none', the default; "
+                   "culda only)")
 
     i = sub.add_parser("infer", help="fold documents into a saved model")
     add_corpus_args(i)
     i.add_argument("--model", required=True, help="checkpoint from train --save")
-    i.add_argument("--iterations", type=int, default=20)
+    i.add_argument("--iterations", type=_positive_int, default=20)
 
     pr = sub.add_parser(
         "profile",
@@ -102,20 +140,24 @@ def build_parser() -> argparse.ArgumentParser:
         "Gantt, top counters, optional trace/metrics/event dumps",
     )
     add_corpus_args(pr, required=False)
-    pr.add_argument("--topics", type=int, default=64, help="K")
-    pr.add_argument("--iterations", type=int, default=5)
+    pr.add_argument("--topics", type=_positive_int, default=64, help="K")
+    pr.add_argument("--iterations", type=_positive_int, default=5)
     pr.add_argument("--platform", choices=PLATFORMS, default="volta")
-    pr.add_argument("--gpus", type=int, default=1)
+    pr.add_argument("--gpus", type=_positive_int, default=1)
     pr.add_argument("--sync", choices=("gpu_tree", "ring", "cpu_gather"),
                     default="gpu_tree")
-    pr.add_argument("--likelihood-every", type=int, default=0)
+    pr.add_argument("--likelihood-every", type=_nonneg_int, default=0)
+    pr.add_argument("--faults", metavar="PLAN.json",
+                    help="inject the faults described in a JSON fault plan")
+    pr.add_argument("--recovery", choices=RECOVERY_MODES, default=None,
+                    help="fault-recovery policy (default: none)")
     pr.add_argument("--trace", metavar="FILE",
                     help="write a Chrome/Perfetto trace (chrome://tracing)")
     pr.add_argument("--metrics", metavar="FILE",
                     help="write a Prometheus text-format metrics snapshot")
     pr.add_argument("--events", metavar="FILE",
                     help="stream the training events as JSONL")
-    pr.add_argument("--top", type=int, default=12,
+    pr.add_argument("--top", type=_positive_int, default=12,
                     help="counter rows to print")
 
     p = sub.add_parser("project", help="print a paper artifact")
@@ -136,12 +178,47 @@ def _load_corpus(args: argparse.Namespace):
     return maker(num_tokens=args.tokens, seed=args.seed)
 
 
+#: Sentinel returned by :func:`_load_fault_plan` for an unreadable or
+#: invalid plan file (``None`` already means "no --faults given").
+_BAD_PLAN = object()
+
+
+def _load_fault_plan(path):
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_json(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: invalid fault plan {path}: {exc}", file=sys.stderr)
+        return _BAD_PLAN
+
+
+def _print_training_failure(exc) -> None:
+    print(f"error: training failed: {exc}", file=sys.stderr)
+    if getattr(exc, "violations", ()):
+        for v in exc.violations:
+            print(f"  violation: {v}", file=sys.stderr)
+    for event in getattr(exc, "fault_events", ()):
+        print(f"  fault event: {event}", file=sys.stderr)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core import save_model
+    from repro.engine import TrainingFailure
     from repro.telemetry import MetricsRegistry
 
     if args.save_every and not args.save:
         print("error: --save-every requires --save FILE", file=sys.stderr)
+        return 2
+    if (args.faults or args.recovery) and args.algo != "culda":
+        print("error: --faults/--recovery require --algo culda "
+              "(fault injection targets the simulated multi-GPU machine)",
+              file=sys.stderr)
+        return 2
+    fault_plan = _load_fault_plan(args.faults)
+    if fault_plan is _BAD_PLAN:
         return 2
     corpus = _load_corpus(args)
     registry = MetricsRegistry()
@@ -177,7 +254,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
             trainer = CuLDA(
                 corpus, machine=machine, config=config, registry=registry
             )
-        result = trainer.train(**run_kwargs)
+            run_kwargs.update(recovery=args.recovery,
+                              fault_plan=fault_plan)
+        try:
+            result = trainer.train(**run_kwargs)
+        except TrainingFailure as exc:
+            _print_training_failure(exc)
+            return 1
     else:
         from repro.core.model import LDAHyperParams
 
@@ -234,10 +317,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core import CuLDA, TrainConfig
     from repro.core.culda import BREAKDOWN_KINDS, _busy_fractions
+    from repro.engine import TrainingFailure
     from repro.gpusim.platform import make_machine
     from repro.telemetry import JSONLEmitter, MetricsRegistry
     from repro.telemetry.exporters import merged_chrome_json, to_prometheus
 
+    fault_plan = _load_fault_plan(args.faults)
+    if fault_plan is _BAD_PLAN:
+        return 2
     corpus = _load_corpus(args)
     machine = make_machine(args.platform, args.gpus)
     registry = MetricsRegistry()
@@ -255,7 +342,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         callbacks=callbacks,
         registry=registry,
     )
-    result = trainer.train()
+    try:
+        result = trainer.train(recovery=args.recovery, fault_plan=fault_plan)
+    except TrainingFailure as exc:
+        _print_training_failure(exc)
+        return 1
 
     print(f"profile: {corpus.name} on {machine.name}, "
           f"K={args.topics}, {len(result.iterations)} iteration(s)")
@@ -290,6 +381,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         name = f"{s.name}{{{label_s}}}" if label_s else s.name
         print(f"  {name:<56s} {s.value:>14,.0f}")
     print()
+
+    if result.fault_events:
+        print(f"fault events ({len(result.fault_events)} injected, "
+              f"{result.rollbacks} rollback(s), "
+              f"{result.repartitions} repartition(s)):")
+        for event in result.fault_events:
+            detail = " ".join(
+                f"{k}={v}" for k, v in event.items() if k != "kind"
+            )
+            print(f"  {event['kind']:<24s} {detail}")
+        print()
 
     print("timeline (text Gantt):")
     print(machine.trace.gantt_text(width=80))

@@ -200,6 +200,8 @@ class CuLDA(Algorithm):
         checkpoint_path=None,
         resume=None,
         vocabulary=None,
+        recovery=None,
+        fault_plan=None,
     ) -> TrainResult:
         """Run the full training loop (Alg 1). Returns a TrainResult.
 
@@ -210,8 +212,21 @@ class CuLDA(Algorithm):
         telemetry session over ``self.registry`` is active for the
         duration, so kernel-level counters (sampler branch counts,
         transfer bytes, φ high-water) accumulate there.
+
+        ``recovery`` is a :class:`~repro.engine.recovery.RecoveryPolicy`
+        or a mode string (``"none"``/``"retry"``/``"elastic"``);
+        ``fault_plan`` is a :class:`~repro.faults.FaultPlan` or a path to
+        its JSON — see ``docs/ROBUSTNESS.md``.
         """
         cfg = self.config
+        if isinstance(recovery, str):
+            from repro.engine.recovery import RecoveryPolicy
+
+            recovery = RecoveryPolicy(mode=recovery)
+        if isinstance(fault_plan, (str, bytes)) or hasattr(fault_plan, "__fspath__"):
+            from repro.faults.plan import FaultPlan
+
+            fault_plan = FaultPlan.from_json(fault_plan)
         loop = TrainingLoop(
             self,
             LoopConfig(
@@ -221,11 +236,17 @@ class CuLDA(Algorithm):
                 save_every=save_every,
                 checkpoint_path=checkpoint_path,
                 vocabulary=vocabulary,
+                recovery=recovery,
+                fault_plan=fault_plan,
             ),
             callbacks=callbacks,
             resume=resume,
         )
         return loop.run()
+
+    def _transfer_retry(self):
+        policy = self.recovery_policy
+        return policy.transfer_retry() if policy is not None else None
 
     # ------------------------------------------------------------------
     # Algorithm strategy surface
@@ -324,22 +345,24 @@ class CuLDA(Algorithm):
         runtimes, workers = self._runtimes, self._workers
         iv0 = len(machine.trace.intervals)
         with span("iteration"):
+            retry = self._transfer_retry()
             if self._plan.chunks_per_gpu == 1:
                 run_iteration_resident(
                     machine, workers, runtimes, self._dev_chunks,
                     self._hyper, self._kcfg, cfg.sync_algorithm,
+                    retry=retry,
                 )
             else:
                 run_iteration_streaming(
                     machine, workers, runtimes, self._hyper, self._kcfg,
                     self._plan.chunks_per_gpu, cfg.sync_algorithm,
-                    overlap=cfg.overlap_transfers,
+                    overlap=cfg.overlap_transfers, retry=retry,
                 )
             t_now = machine.synchronize()
         dt = t_now - self._t_prev
         sync_seconds, p2p_bytes, busy = iteration_trace_stats(
             machine.trace.intervals[iv0:],
-            [d.device_id for d in machine.gpus],
+            [w.device.device_id for w in workers],
             self._t_prev,
             t_now,
         )
@@ -404,11 +427,25 @@ class CuLDA(Algorithm):
         state.thetas = [r.theta for r in self._runtimes]
         state.rngs = [r.rng for r in self._runtimes]
 
+    def check_invariants(self, state: RunState) -> list[str]:
+        """Every GPU must hold the same synchronized φ replica — silent
+        transfer corruption of any one replica breaks this."""
+        workers = self._workers
+        ref = workers[0].phi_full.data
+        out = []
+        for w in workers[1:]:
+            if not np.array_equal(w.phi_full.data, ref):
+                out.append(
+                    f"phi replica on GPU {w.device.device_id} diverges "
+                    f"from GPU {workers[0].device.device_id}"
+                )
+        return out
+
     def finalize(self, state: RunState, wall_seconds: float) -> TrainResult:
         machine = self.machine
         runtimes, workers = self._runtimes, self._workers
         plan, hyper = self._plan, self._hyper
-        G = len(machine.gpus)
+        G = len(workers)  # surviving GPUs (== all, absent device loss)
         total_sim = self._sim_base + machine.synchronize()
 
         # Final collection (Alg 1 lines 17-20 / 35).
@@ -452,6 +489,142 @@ class CuLDA(Algorithm):
 
     def end_event(self, state: RunState, result: TrainResult) -> dict:
         return {"peak_device_bytes": self._peak_device_bytes}
+
+    # ------------------------------------------------------------------
+    # Recovery surface (see repro.engine.recovery / docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def rollback(self, state: RunState) -> None:
+        """Reinstall the sampler from a known-good *state* snapshot.
+
+        The chunk layout is unchanged: per-chunk z/θ/RNG come straight
+        from the snapshot, φ is recounted from the restored assignments
+        (a pure function of z, so the rebuild is exact) and re-uploaded
+        to every worker. With the snapshot's RNG stream positions the
+        rerun of the poisoned iteration is bit-identical to a run that
+        never faulted.
+        """
+        machine = self.machine
+        hyper, kcfg = self._hyper, self._kcfg
+        runtimes = self._runtimes
+        if len(state.topics) != len(runtimes) or state.thetas is None:
+            raise ValueError(
+                "rollback state does not match the live chunk layout"
+            )
+        dtype = hyper.topic_dtype(kcfg.compressed)
+        for i, rt in enumerate(runtimes):
+            rt.topics = state.topics[i].astype(dtype, copy=False)
+            rt.theta = state.thetas[i]
+            rt.rng = state.rngs[i]
+        phi_host = self._initial_phi(runtimes, hyper, kcfg)
+        for w in self._workers:
+            machine.memcpy_h2d(
+                w.phi_full, phi_host, stream=w.upload, label="h2d:phi_rollback"
+            )
+            self._launch_nk(w, kcfg)
+        if self._plan.chunks_per_gpu == 1:
+            for g, w in enumerate(self._workers):
+                dc, rt = self._dev_chunks[g], runtimes[g]
+                machine.memcpy_h2d(
+                    dc.topics, rt.topics, stream=w.upload,
+                    label=f"h2d:chunk{rt.chunk_id}.topics_rollback",
+                )
+                dc.replace_theta(w.device, rt.theta, f"chunk{rt.chunk_id}")
+        # Recovery time stays on the clock (no reset): fault handling is
+        # part of the run the timeline reports.
+        self._t_prev = machine.synchronize()
+        state.phi = self._workers[0].phi_full.data.astype(np.int32).copy()
+
+    def handle_device_loss(self, state: RunState) -> None:
+        """Elastic re-partition over the surviving GPUs.
+
+        From the known-good *state*: merge every chunk's assignments
+        back to corpus token order (the dead GPU's shard state lives in
+        the snapshot, not on the dead GPU), re-chunk the corpus over the
+        G−1 survivors with the same token-balancing planner, recount φ,
+        and rebuild workers/device buffers. Chunk RNGs are re-spawned
+        from (seed, generation) so the continued run stays deterministic
+        given the same fault plan.
+        """
+        from repro.gpusim.errors import FaultError
+
+        machine = self.machine
+        cfg = self.config
+        hyper, kcfg = self._hyper, self._kcfg
+        alive = machine.alive_gpus
+        if not alive:
+            raise FaultError("no surviving GPUs to re-partition over")
+        old_runtimes = self._runtimes
+        if len(state.topics) != len(old_runtimes) or state.thetas is None:
+            raise ValueError(
+                "device-loss state does not match the live chunk layout"
+            )
+
+        # Dead GPU's shard state comes from the snapshot: merge all
+        # chunks' assignments back to the original corpus token order.
+        global_topics = np.empty(self.corpus.num_tokens, dtype=np.int32)
+        for i, rt in enumerate(old_runtimes):
+            base = int(self.corpus.doc_indptr[rt.chunk.doc_offset])
+            global_topics[base + rt.chunk.source_pos] = (
+                state.topics[i].astype(np.int32)
+            )
+
+        # Drop every old device buffer (host-side bookkeeping only; the
+        # dead GPU's memory is gone with the GPU).
+        for dc in self._dev_chunks:
+            dc.free_all()
+        for w in self._workers:
+            w.free_all()
+
+        plan = choose_chunking(
+            self.corpus, len(alive), hyper, kcfg, alive[0].spec,
+            chunks_per_gpu=cfg.chunks_per_gpu,
+        )
+        self._rng_generation = getattr(self, "_rng_generation", 0) + 1
+        children = np.random.default_rng(
+            [cfg.seed, self._rng_generation]
+        ).spawn(len(plan.doc_ranges))
+        dtype = hyper.topic_dtype(kcfg.compressed)
+        runtimes = []
+        for cid, (lo, hi) in enumerate(plan.doc_ranges):
+            chunk = TokenChunk.from_corpus_range(self.corpus, lo, hi)
+            base = int(self.corpus.doc_indptr[chunk.doc_offset])
+            topics = global_topics[base + chunk.source_pos].astype(dtype)
+            theta = SparseTheta.from_assignments(
+                chunk, topics, hyper.num_topics, kcfg.compressed
+            )
+            runtimes.append(ChunkRuntime(cid, chunk, topics, theta, children[cid]))
+        phi_host = self._initial_phi(runtimes, hyper, kcfg)
+
+        workers = [
+            GpuWorker(dev, hyper.num_topics, self.corpus.num_words, kcfg)
+            for dev in alive
+        ]
+        dev_chunks: list[DeviceChunk] = []
+        for w in workers:
+            machine.memcpy_h2d(
+                w.phi_full, phi_host, stream=w.upload,
+                label="h2d:phi_repartition",
+            )
+            self._launch_nk(w, kcfg)
+        if plan.chunks_per_gpu == 1:
+            dev_chunks = [
+                upload_chunk(machine, workers[g], runtimes[g])
+                for g in range(len(workers))
+            ]
+        self._plan, self._runtimes = plan, runtimes
+        self._workers, self._dev_chunks = workers, dev_chunks
+        # Migration/redistribution time stays on the clock.
+        self._t_prev = machine.synchronize()
+        emit_gauge(
+            "surviving_gpus", float(len(alive)),
+            help="GPUs still alive after elastic re-partition",
+        )
+
+        # Refresh the restored state to the new shard layout.
+        state.topics = [r.topics for r in runtimes]
+        state.thetas = [r.theta for r in runtimes]
+        state.rngs = [r.rng for r in runtimes]
+        state.phi = workers[0].phi_full.data.astype(np.int32).copy()
 
     # ------------------------------------------------------------------
     # Internals

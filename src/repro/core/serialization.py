@@ -16,11 +16,23 @@ Format version 2 adds two things over version 1:
   bit-identically. A run-state file is a superset of a model
   checkpoint: :func:`load_model` reads it too.
 
-Version 1 files remain loadable.
+Format version 3 hardens the files against crashes and bit rot:
+
+- every checkpoint is written atomically (temp file in the same
+  directory + ``os.replace``), so a crash mid-write can never leave a
+  half-written file under the checkpoint's name;
+- every checkpoint embeds a SHA-256 digest over its canonical contents;
+  loading verifies it and rejects truncated or corrupted files with an
+  error naming the file and the expected vs actual digest.
+
+Version 1 and 2 files (which predate the checksum) remain loadable.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -39,10 +51,11 @@ __all__ = [
     "load_run_state",
 ]
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
-#: Versions ``load_model`` accepts (v1 lacked ``algo`` and optional θ).
-_SUPPORTED_VERSIONS = (1, 2)
+#: Versions ``load_model`` accepts (v1 lacked ``algo`` and optional θ;
+#: v1/v2 lacked the integrity checksum).
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: IterationStats history, serialized as parallel arrays.
 _HISTORY_FLOAT_FIELDS = (
@@ -53,6 +66,90 @@ _HISTORY_FLOAT_FIELDS = (
     "network_seconds",
     "compute_seconds",
 )
+
+
+def _checksum(fields: dict) -> str:
+    """SHA-256 over a canonical serialization of the checkpoint fields.
+
+    Stable across save/load: each field contributes its name, dtype,
+    shape, and raw bytes, in sorted field order. The digest is identical
+    whether computed from the in-memory save dict or the arrays read
+    back from the ``.npz``.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(fields):
+        arr = np.asarray(fields[name])
+        digest.update(name.encode())
+        digest.update(arr.dtype.str.encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_savez(path: str | Path, fields: dict) -> None:
+    """Write ``fields`` (+ embedded checksum) to *path* atomically.
+
+    The archive lands in a temp file in the same directory and is moved
+    over *path* with ``os.replace``, so readers never observe a
+    half-written checkpoint even if the writer crashes mid-save.
+    """
+    path = Path(path)
+    fields = dict(fields)
+    fields["checksum"] = np.array(_checksum(fields))
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        # An open handle keeps np.savez_compressed from appending .npz
+        # to the temp name.
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **fields)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _load_npz(path: Path):
+    """np.load with unreadable archives mapped to a clear ValueError."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise ValueError(
+            f"checkpoint {path} is truncated or not a valid .npz archive "
+            f"({exc}); it cannot be loaded"
+        ) from exc
+
+
+def _verify_checksum(data, path: Path, version: int) -> None:
+    """Verify the embedded digest; v1/v2 files (no checksum) pass."""
+    if "checksum" not in data.files:
+        if version >= 3:
+            raise ValueError(
+                f"checkpoint {path} (format {version}) is missing its "
+                "integrity checksum; the file was tampered with or "
+                "written by a broken writer"
+            )
+        return
+    expected = str(data["checksum"])
+    try:
+        fields = {
+            name: data[name] for name in data.files if name != "checksum"
+        }
+        actual = _checksum(fields)
+    except Exception as exc:
+        raise ValueError(
+            f"checkpoint {path} is corrupted: reading its contents "
+            f"failed ({exc})"
+        ) from exc
+    if actual != expected:
+        raise ValueError(
+            f"checkpoint {path} failed integrity verification: expected "
+            f"digest {expected} but contents hash to {actual}; the file "
+            "is truncated, corrupted, or was modified after writing"
+        )
 
 
 @dataclass(frozen=True)
@@ -119,7 +216,7 @@ def save_model(result, path: str | Path, vocabulary=None) -> None:
         str(getattr(result, "algo", "culda")),
         vocabulary,
     )
-    np.savez_compressed(Path(path), **fields)
+    _atomic_savez(path, fields)
 
 
 def load_model(path: str | Path) -> ModelCheckpoint:
@@ -132,7 +229,7 @@ def load_model(path: str | Path) -> ModelCheckpoint:
         On missing fields or an unsupported format version.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
+    with _load_npz(path) as data:
         try:
             version = int(data["format_version"])
             if version not in _SUPPORTED_VERSIONS:
@@ -140,6 +237,7 @@ def load_model(path: str | Path) -> ModelCheckpoint:
                     f"unsupported checkpoint version {version} "
                     f"(expected one of {_SUPPORTED_VERSIONS})"
                 )
+            _verify_checksum(data, path, version)
             hyper = LDAHyperParams(
                 num_topics=int(data["num_topics"]),
                 alpha=float(data["alpha"]),
@@ -229,7 +327,7 @@ def save_run_state(
         ],
         dtype=np.float64,
     )
-    np.savez_compressed(Path(path), **fields)
+    _atomic_savez(path, fields)
 
 
 def load_run_state(path: str | Path) -> RunState:
@@ -242,7 +340,7 @@ def load_run_state(path: str | Path) -> RunState:
         malformed, or has an unsupported version.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
+    with _load_npz(path) as data:
         try:
             version = int(data["format_version"])
             if version not in _SUPPORTED_VERSIONS:
@@ -250,6 +348,7 @@ def load_run_state(path: str | Path) -> RunState:
                     f"unsupported checkpoint version {version} "
                     f"(expected one of {_SUPPORTED_VERSIONS})"
                 )
+            _verify_checksum(data, path, version)
             if "run_iteration" not in data.files:
                 raise ValueError(
                     f"{path} is a model checkpoint, not a run-state "

@@ -15,12 +15,21 @@ that loop once, for CuLDA and every baseline:
   iteration counter, per-iteration history);
 - :class:`~repro.engine.results.TrainResult` /
   :class:`~repro.engine.results.IterationStats` — the one result type
-  every trainer returns.
+  every trainer returns;
+- :class:`~repro.engine.recovery.RecoveryPolicy` — fault handling:
+  transfer retries, state validation + rollback, and elastic
+  re-partitioning after permanent device loss (``docs/ROBUSTNESS.md``).
 
 See ``docs/ARCHITECTURE.md`` for the layer diagram.
 """
 
 from repro.engine.hooks import TelemetryMixin
+from repro.engine.recovery import (
+    RecoveryPolicy,
+    TrainingFailure,
+    snapshot_run_state,
+    validate_state,
+)
 from repro.engine.results import IterationStats, TrainResult
 from repro.engine.state import RunState, freeze_rng_state, thaw_rng_state
 from repro.engine.algorithm import Algorithm, IterationOutcome
@@ -31,10 +40,14 @@ __all__ = [
     "IterationOutcome",
     "IterationStats",
     "LoopConfig",
+    "RecoveryPolicy",
     "RunState",
     "TelemetryMixin",
     "TrainResult",
+    "TrainingFailure",
     "TrainingLoop",
     "freeze_rng_state",
+    "snapshot_run_state",
     "thaw_rng_state",
+    "validate_state",
 ]

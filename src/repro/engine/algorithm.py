@@ -59,6 +59,11 @@ class Algorithm(TelemetryMixin):
     #: Strategy id; also the ``algo`` recorded in checkpoints/results.
     name: str = "algorithm"
 
+    #: Set by the TrainingLoop before ``init_state`` when a recovery
+    #: policy is active; algorithms that support fault tolerance read
+    #: their transfer-retry settings from it.
+    recovery_policy = None
+
     # -- strategy surface ----------------------------------------------
     def init_state(self, resume: RunState | None = None) -> RunState:
         raise NotImplementedError
@@ -80,3 +85,26 @@ class Algorithm(TelemetryMixin):
 
     def end_event(self, state: RunState, result: TrainResult) -> dict:
         return {}
+
+    # -- recovery surface (optional; see repro.engine.recovery) --------
+    def check_invariants(self, state: RunState) -> list[str]:
+        """Algorithm-specific invariant checks run alongside the
+        engine's :func:`~repro.engine.recovery.validate_state` when a
+        recovery policy is active. Returns violation strings."""
+        return []
+
+    def rollback(self, state: RunState) -> None:
+        """Reinstall the sampler internals from a restored *state* after
+        a detected fault (same shard layout). Algorithms that cannot
+        roll back leave the default, which the loop converts into a
+        :class:`~repro.engine.recovery.TrainingFailure`."""
+        raise NotImplementedError(
+            f"algorithm {self.name!r} does not support rollback"
+        )
+
+    def handle_device_loss(self, state: RunState) -> None:
+        """Re-partition the restored *state* over the surviving devices
+        after a permanent GPU loss (elastic recovery)."""
+        raise NotImplementedError(
+            f"algorithm {self.name!r} does not support elastic recovery"
+        )

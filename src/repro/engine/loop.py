@@ -20,8 +20,16 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.engine.algorithm import Algorithm
+from repro.engine.recovery import (
+    RecoveryPolicy,
+    TrainingFailure,
+    snapshot_run_state,
+    validate_state,
+)
 from repro.engine.results import IterationStats, TrainResult
 from repro.engine.state import RunState
+from repro.gpusim.errors import DeviceLost, FaultError
+from repro.telemetry.context import emit_counter
 from repro.telemetry.spans import span
 
 __all__ = ["LoopConfig", "TrainingLoop"]
@@ -29,7 +37,11 @@ __all__ = ["LoopConfig", "TrainingLoop"]
 
 @dataclass(frozen=True)
 class LoopConfig:
-    """Execution parameters of one run (algorithm-independent)."""
+    """Execution parameters of one run (algorithm-independent).
+
+    Invalid combinations are rejected at construction with actionable
+    errors rather than surfacing as confusing failures mid-run.
+    """
 
     iterations: int
     likelihood_every: int = 0           # 0 = only at the end
@@ -41,6 +53,41 @@ class LoopConfig:
     checkpoint_path: str | Path | None = None
     #: Stored with checkpoints so any of them feeds `repro-lda infer`.
     vocabulary: object | None = None
+    #: Fault handling (None = RecoveryPolicy(mode="none"), the seed
+    #: fail-fast behaviour). See :mod:`repro.engine.recovery`.
+    recovery: RecoveryPolicy | None = None
+    #: Chaos plan to inject during the run (see :mod:`repro.faults`).
+    fault_plan: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValueError(
+                f"iterations must be >= 0, got {self.iterations}"
+            )
+        if self.likelihood_every < 0:
+            raise ValueError(
+                f"likelihood_every must be >= 0 (0 = final only), "
+                f"got {self.likelihood_every}"
+            )
+        if self.save_every < 0:
+            raise ValueError(
+                f"save_every must be >= 0 (0 = never), got {self.save_every}"
+            )
+        if self.stop_rel_tolerance is not None:
+            if self.stop_rel_tolerance <= 0:
+                raise ValueError(
+                    "stop_rel_tolerance must be positive, "
+                    f"got {self.stop_rel_tolerance}"
+                )
+            if not self.likelihood_every:
+                raise ValueError(
+                    "stop_rel_tolerance requires likelihood_every > 0 "
+                    "(early stopping watches the likelihood cadence)"
+                )
+        if self.save_every and self.checkpoint_path is None:
+            raise ValueError(
+                "save_every requires a checkpoint_path to write to"
+            )
 
 
 class TrainingLoop:
@@ -72,10 +119,8 @@ class TrainingLoop:
     def run(self) -> TrainResult:
         algo = self.algorithm
         cfg = self.config
-        if cfg.stop_rel_tolerance is not None and not cfg.likelihood_every:
-            raise ValueError("stop_rel_tolerance requires likelihood_every > 0")
-        if cfg.save_every and cfg.checkpoint_path is None:
-            raise ValueError("save_every requires a checkpoint_path")
+        policy = cfg.recovery or RecoveryPolicy()
+        algo.recovery_policy = policy
 
         resume_state = self._resolve_resume()
         detector = None
@@ -83,6 +128,104 @@ class TrainingLoop:
             from repro.analysis.convergence import ConvergenceDetector
 
             detector = ConvergenceDetector(rel_tolerance=cfg.stop_rel_tolerance)
+
+        injector = None
+        if cfg.fault_plan is not None and len(cfg.fault_plan):
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(
+                cfg.fault_plan, machine=getattr(algo, "machine", None)
+            )
+        self._injector = injector
+        rollbacks = 0
+        repartitions = 0
+        snapshot: RunState | None = None
+
+        def fail(
+            message: str,
+            *,
+            iteration: int,
+            phase: str,
+            cause: BaseException | None = None,
+            violations: tuple[str, ...] = (),
+        ):
+            events = tuple(injector.events) if injector is not None else ()
+            raise TrainingFailure(
+                message, iteration=iteration, phase=phase, cause=cause,
+                violations=violations, fault_events=events,
+            ) from cause
+
+        def recover(
+            cause: BaseException | None,
+            it: int,
+            violations: tuple[str, ...] = (),
+        ) -> None:
+            """Restore *state* from the last known-good snapshot —
+            re-partitioned over the survivors on device loss, reinstalled
+            as-is otherwise — or raise TrainingFailure."""
+            nonlocal state, snapshot, rollbacks, repartitions
+            what = (
+                f"{type(cause).__name__}: {cause}" if cause is not None
+                else "invariant violation: " + "; ".join(violations)
+            )
+            if not policy.active or snapshot is None:
+                fail(
+                    f"iteration {it} failed ({what}) and recovery is "
+                    "disabled; rerun with a recovery policy "
+                    "(--recovery retry or --recovery elastic)",
+                    iteration=it, phase="iteration", cause=cause,
+                    violations=violations,
+                )
+            if isinstance(cause, DeviceLost):
+                if policy.mode != "elastic":
+                    fail(
+                        f"GPU {cause.device_id} was lost at iteration {it} "
+                        f"and recovery mode {policy.mode!r} cannot replace "
+                        "it; rerun with --recovery elastic",
+                        iteration=it, phase="iteration", cause=cause,
+                    )
+                restore = snapshot_run_state(snapshot)
+                try:
+                    algo.handle_device_loss(restore)
+                except NotImplementedError as exc:
+                    fail(str(exc), iteration=it, phase="recovery", cause=cause)
+                except FaultError as exc:
+                    fail(
+                        f"elastic re-partition itself failed: {exc}",
+                        iteration=it, phase="recovery", cause=exc,
+                    )
+                repartitions += 1
+                emit_counter(
+                    "elastic_repartitions_total", 1,
+                    help="elastic re-partitions after permanent device loss",
+                )
+                state = restore
+                snapshot = snapshot_run_state(state)
+                return
+            if rollbacks >= policy.max_rollbacks:
+                fail(
+                    f"iteration {it} failed ({what}) and the rollback "
+                    f"budget ({policy.max_rollbacks}) is exhausted",
+                    iteration=it, phase="recovery", cause=cause,
+                    violations=violations,
+                )
+            restore = snapshot_run_state(snapshot)
+            try:
+                algo.rollback(restore)
+            except NotImplementedError as exc:
+                fail(str(exc), iteration=it, phase="recovery", cause=cause)
+            except DeviceLost as exc:
+                # A device died while reinstalling state — escalate.
+                rollbacks += 1
+                recover(exc, it)
+                return
+            rollbacks += 1
+            emit_counter(
+                "rollbacks_total", 1,
+                help="state rollbacks after detected faults or invariant "
+                     "violations",
+            )
+            state = restore
 
         wall_start = time.perf_counter()
         with algo._telemetry_run(self.callbacks):
@@ -100,9 +243,27 @@ class TrainingLoop:
                     start["resumed_from_iteration"] = state.iteration
                 algo._fire("on_train_start", start)
 
+                if policy.active:
+                    algo.capture_state(state)
+                    violations = validate_state(state, algo.corpus.num_tokens)
+                    if violations:
+                        fail(
+                            "initial state failed validation: "
+                            + "; ".join(violations),
+                            iteration=state.iteration, phase="validation",
+                            violations=tuple(violations),
+                        )
+                    snapshot = snapshot_run_state(state)
+
                 while state.iteration < cfg.iterations:
                     it = state.iteration
-                    outcome = algo.run_iteration(state)
+                    if injector is not None:
+                        injector.on_iteration_start(it)
+                    try:
+                        outcome = algo.run_iteration(state)
+                    except FaultError as exc:
+                        recover(exc, it)
+                        continue
                     state.iteration = it + 1
                     if outcome.sim_seconds:
                         state.sim_seconds += outcome.sim_seconds
@@ -139,6 +300,26 @@ class TrainingLoop:
                     event.update(outcome.event)
                     algo._fire("on_iteration_end", event)
 
+                    if (
+                        policy.active
+                        and policy.validate_every
+                        and (it + 1) % policy.validate_every == 0
+                    ):
+                        algo.capture_state(state)
+                        violations = validate_state(
+                            state, algo.corpus.num_tokens
+                        )
+                        violations += algo.check_invariants(state)
+                        if violations:
+                            emit_counter(
+                                "validation_failures_total", len(violations),
+                                help="post-iteration invariant violations "
+                                     "detected",
+                            )
+                            recover(None, it, violations=tuple(violations))
+                            continue
+                        snapshot = snapshot_run_state(state)
+
                     if cfg.save_every and (it + 1) % cfg.save_every == 0:
                         self._save_checkpoint(state)
                     if (
@@ -165,6 +346,10 @@ class TrainingLoop:
             result = algo.finalize(
                 state, wall_seconds=time.perf_counter() - wall_start
             )
+            result.rollbacks = rollbacks
+            result.repartitions = repartitions
+            if injector is not None:
+                result.fault_events = list(injector.events)
             end = {
                 "iterations": len(state.history),
                 "total_sim_seconds": result.total_sim_seconds,
@@ -206,3 +391,5 @@ class TrainingLoop:
             corpus_name=self.algorithm.corpus.name,
             vocabulary=self.config.vocabulary,
         )
+        if getattr(self, "_injector", None) is not None:
+            self._injector.on_checkpoint_saved(self.config.checkpoint_path)

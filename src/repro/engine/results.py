@@ -84,6 +84,11 @@ class TrainResult:
     #: SCVB0: the expected-count matrices (φ is their hard-count analog).
     n_phi: np.ndarray | None = None
     n_theta: np.ndarray | None = None
+    #: Chaos runs: faults injected (injector event dicts) and the
+    #: recovery actions the loop took to survive them.
+    fault_events: list = field(default_factory=list)
+    rollbacks: int = 0
+    repartitions: int = 0
 
     @property
     def avg_tokens_per_sec(self) -> float:
@@ -138,6 +143,12 @@ class TrainResult:
         )
         if ll is not None:
             lines.append(f"  log-likelihood/token: {ll:.4f}")
+        if self.fault_events or self.rollbacks or self.repartitions:
+            lines.append(
+                f"  recovery: {len(self.fault_events)} fault event(s), "
+                f"{self.rollbacks} rollback(s), "
+                f"{self.repartitions} repartition(s)"
+            )
         if self.breakdown:
             parts = ", ".join(
                 f"{k} {self.breakdown.get(k, 0.0) * 100:.1f}%"

@@ -1,0 +1,15 @@
+"""Fault injection for chaos-testing the training stack.
+
+Declarative :class:`FaultPlan` (JSON-loadable) applied to the simulated
+machine by a :class:`FaultInjector` at iteration boundaries. The fault
+*exceptions* live in :mod:`repro.gpusim.errors` (the simulator raises
+them without depending on this package); the recovery policies that
+react to them live in :mod:`repro.engine.recovery`.
+
+See ``docs/ROBUSTNESS.md`` for the fault model and worked examples.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "FaultPlan", "FaultSpec"]

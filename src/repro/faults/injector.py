@@ -1,0 +1,148 @@
+"""Apply a :class:`~repro.faults.plan.FaultPlan` to a running machine.
+
+The injector is driven by the training loop at two boundaries:
+
+- :meth:`FaultInjector.on_iteration_start` — called with the 0-based
+  iteration about to run; applies every hardware fault due at that
+  iteration (and restores ``until``-bounded link outages whose window
+  has closed).
+- :meth:`FaultInjector.on_checkpoint_saved` — called after each
+  run-state checkpoint write; truncates the file for matching
+  ``checkpoint_truncation`` specs.
+
+Each applied fault is appended to :attr:`FaultInjector.events` (plain
+dicts: kind, iteration, target, sim-agnostic details) and counted in the
+telemetry counter ``faults_injected_total{kind=...}`` so chaos runs show
+up in ``repro-lda profile`` output.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan
+from repro.telemetry.context import emit_counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.platform import Machine
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stateful executor for one :class:`FaultPlan` over one run."""
+
+    def __init__(self, plan: FaultPlan, machine: "Machine | None" = None):
+        self.plan = plan
+        self.machine = machine
+        self.events: list[dict] = []
+        self._saves_seen = 0
+        # Each spec fires at most once, even when recovery rolls the run
+        # back and the trigger iteration is executed again.
+        self._applied: set[int] = set()
+        if machine is None and plan.needs_machine:
+            kinds = sorted({f.kind for f in plan if f.kind != "checkpoint_truncation"})
+            raise ValueError(
+                "fault plan targets simulated hardware "
+                f"({', '.join(kinds)}) but no machine was provided"
+            )
+        # (restore_iteration, spec) for until-bounded link outages.
+        self._pending_restores: list[tuple[int, object]] = []
+
+    # ------------------------------------------------------------------
+    def _record(self, spec, **details) -> None:
+        event = {"kind": spec.kind, "iteration": spec.iteration}
+        event.update(details)
+        self.events.append(event)
+        emit_counter(
+            "faults_injected_total",
+            1,
+            help="Faults injected by the chaos plan.",
+            kind=spec.kind,
+        )
+
+    def _device(self, device_id: int):
+        gpus = self.machine.gpus
+        if not 0 <= device_id < len(gpus):
+            raise ValueError(
+                f"fault targets device {device_id} but machine has "
+                f"GPUs 0..{len(gpus) - 1}"
+            )
+        return gpus[device_id]
+
+    # ------------------------------------------------------------------
+    def on_iteration_start(self, iteration: int) -> None:
+        """Apply all hardware faults due at *iteration*."""
+        # Restore expired until-bounded outages first so a plan can
+        # re-fault the same link in a later window.
+        still_pending = []
+        for restore_at, spec in self._pending_restores:
+            if iteration >= restore_at:
+                link = self.machine.find_link(spec.link)
+                if spec.kind == "link_down":
+                    link.set_down(False)
+                else:  # link_degraded
+                    link.degrade(1.0)
+                self.events.append(
+                    {"kind": f"{spec.kind}_restored", "iteration": iteration,
+                     "link": spec.link}
+                )
+            else:
+                still_pending.append((restore_at, spec))
+        self._pending_restores = still_pending
+
+        for idx, spec in enumerate(self.plan):
+            if spec.kind == "checkpoint_truncation" or spec.iteration != iteration:
+                continue
+            if idx in self._applied:
+                continue
+            self._applied.add(idx)
+            if spec.kind == "device_failure":
+                self._device(spec.device).fail()
+                self._record(spec, device=spec.device)
+            elif spec.kind == "link_down":
+                link = self.machine.find_link(spec.link)
+                link.set_down(True)
+                if spec.until is not None:
+                    self._pending_restores.append((spec.until, spec))
+                self._record(spec, link=spec.link, until=spec.until)
+            elif spec.kind == "link_flaky":
+                self.machine.find_link(spec.link).fail_next(spec.count)
+                self._record(spec, link=spec.link, count=spec.count)
+            elif spec.kind == "link_degraded":
+                self.machine.find_link(spec.link).degrade(spec.scale)
+                if spec.until is not None:
+                    self._pending_restores.append((spec.until, spec))
+                self._record(spec, link=spec.link, scale=spec.scale,
+                             until=spec.until)
+            elif spec.kind == "transfer_corruption":
+                self.machine.find_link(spec.link).corrupt_next(spec.count)
+                self._record(spec, link=spec.link, count=spec.count)
+            elif spec.kind == "kernel_fault":
+                self._device(spec.device).inject_kernel_fault(spec.op)
+                self._record(spec, device=spec.device, op=spec.op)
+
+    # ------------------------------------------------------------------
+    def on_checkpoint_saved(self, path: str | os.PathLike) -> None:
+        """Truncate the just-written checkpoint if the plan says so."""
+        self._saves_seen += 1
+        for spec in self.plan:
+            if spec.kind != "checkpoint_truncation":
+                continue
+            if spec.at_save != self._saves_seen:
+                continue
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.truncate(size // 2)
+            self.events.append(
+                {"kind": spec.kind, "at_save": spec.at_save,
+                 "path": os.fspath(path), "original_bytes": size,
+                 "truncated_bytes": size // 2}
+            )
+            emit_counter(
+                "faults_injected_total",
+                1,
+                help="Faults injected by the chaos plan.",
+                kind=spec.kind,
+            )

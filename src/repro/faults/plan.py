@@ -1,0 +1,166 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` entries,
+each describing one fault to inject at a given training iteration (or,
+for checkpoint faults, at the N-th checkpoint write). Plans are plain
+data — JSON in, JSON out — so chaos scenarios live in version control
+next to the experiments they harden:
+
+.. code-block:: json
+
+    {"faults": [
+        {"kind": "link_flaky", "iteration": 2, "link": "p2p[0-1]", "count": 3},
+        {"kind": "device_failure", "iteration": 5, "device": 1}
+    ]}
+
+Supported kinds (see ``docs/ROBUSTNESS.md`` for the full fault model):
+
+- ``device_failure`` — GPU ``device`` is permanently lost at
+  ``iteration``.
+- ``link_down`` — ``link`` goes out of service at ``iteration``;
+  optional ``until`` restores it at that iteration (exclusive).
+- ``link_flaky`` — the next ``count`` transfer attempts on ``link``
+  fail transiently (each failed attempt consumes one).
+- ``link_degraded`` — ``link`` bandwidth is multiplied by ``scale``
+  (< 1 slows it) at ``iteration``; optional ``until`` restores it.
+- ``transfer_corruption`` — the next ``count`` transfers granted on
+  ``link`` deliver silently corrupted payloads.
+- ``kernel_fault`` — the next kernel of kind ``op`` (any kind when
+  omitted) on ``device`` raises a detected fault at ``iteration``.
+- ``checkpoint_truncation`` — the ``at_save``-th run-state checkpoint
+  written (1-based) is truncated to half its size after the write,
+  simulating a crash mid-``fsync``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
+
+FAULT_KINDS = (
+    "device_failure",
+    "link_down",
+    "link_flaky",
+    "link_degraded",
+    "transfer_corruption",
+    "kernel_fault",
+    "checkpoint_truncation",
+)
+
+#: Which optional fields each kind requires (beyond kind itself).
+_REQUIRED = {
+    "device_failure": ("iteration", "device"),
+    "link_down": ("iteration", "link"),
+    "link_flaky": ("iteration", "link"),
+    "link_degraded": ("iteration", "link", "scale"),
+    "transfer_corruption": ("iteration", "link"),
+    "kernel_fault": ("iteration", "device"),
+    "checkpoint_truncation": ("at_save",),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject. Field applicability depends on ``kind``."""
+
+    kind: str
+    iteration: int | None = None     # trigger iteration (0-based)
+    device: int | None = None        # GPU id (device faults)
+    link: str | None = None          # link label (link faults)
+    count: int = 1                   # flaky / corruption repetitions
+    until: int | None = None         # restore iteration (link outages)
+    scale: float | None = None       # bandwidth multiplier (degradation)
+    op: str | None = None            # kernel kind filter (kernel_fault)
+    at_save: int | None = None       # 1-based checkpoint index
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        for name in _REQUIRED[self.kind]:
+            if getattr(self, name) is None:
+                raise ValueError(
+                    f"fault kind {self.kind!r} requires field {name!r}"
+                )
+        if self.iteration is not None and self.iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.until is not None:
+            if self.iteration is None or self.until <= self.iteration:
+                raise ValueError("until must be greater than iteration")
+        if self.scale is not None and self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.at_save is not None and self.at_save < 1:
+            raise ValueError("at_save is 1-based and must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict with defaulted/None fields dropped."""
+        out = {"kind": self.kind}
+        for key, value in asdict(self).items():
+            if key == "kind" or value is None:
+                continue
+            if key == "count" and value == 1:
+                continue
+            out[key] = value
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of faults for one training run."""
+
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @property
+    def needs_machine(self) -> bool:
+        """True when any fault targets simulated hardware (device/link)."""
+        return any(f.kind != "checkpoint_truncation" for f in self.faults)
+
+    # -- serialization -------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict) or "faults" not in data:
+            raise ValueError('fault plan must be an object {"faults": [...]}')
+        specs = []
+        for i, entry in enumerate(data["faults"]):
+            if not isinstance(entry, dict):
+                raise ValueError(f"fault #{i} must be an object")
+            try:
+                specs.append(FaultSpec(**entry))
+            except TypeError as exc:
+                raise ValueError(f"fault #{i}: {exc}") from exc
+            except ValueError as exc:
+                raise ValueError(f"fault #{i}: {exc}") from exc
+        return cls(faults=tuple(specs))
+
+    def to_dict(self) -> dict:
+        return {"faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fault plan {path} is not valid JSON: {exc}") from exc
+        try:
+            return cls.from_dict(data)
+        except ValueError as exc:
+            raise ValueError(f"fault plan {path}: {exc}") from exc
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")

@@ -30,6 +30,7 @@ argues is the determining one for LDA.
 
 from repro.gpusim.costmodel import CostModel, KernelCost, TransferCost
 from repro.gpusim.device import Device, DeviceSpec
+from repro.gpusim.errors import DeviceLost, FaultError, KernelFault, LinkDown
 from repro.gpusim.interconnect import Link
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.memory import DeviceArray, DeviceOutOfMemoryError
@@ -54,8 +55,12 @@ __all__ = [
     "KernelCost",
     "TransferCost",
     "Device",
+    "DeviceLost",
     "DeviceSpec",
+    "FaultError",
+    "KernelFault",
     "Link",
+    "LinkDown",
     "KernelLaunch",
     "DeviceArray",
     "DeviceOutOfMemoryError",

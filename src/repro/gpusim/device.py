@@ -114,6 +114,35 @@ class Device:
         self.allocator = DeviceAllocator(spec.mem_capacity_bytes, owner=spec.name)
         self._streams: list["Stream"] = []
         self._default_stream: "Stream | None" = None
+        # Fault-injection state (see repro.faults). Healthy defaults.
+        self.alive = True
+        self._kernel_fault_op: str | None = None
+        self._kernel_fault_pending = False
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Permanently lose this device; any later stream operation on
+        it raises :class:`~repro.gpusim.errors.DeviceLost`."""
+        self.alive = False
+
+    def inject_kernel_fault(self, op: str | None = None) -> None:
+        """Arm a one-shot kernel fault: the next operation of kind *op*
+        (any kind when None) raises
+        :class:`~repro.gpusim.errors.KernelFault`."""
+        self._kernel_fault_pending = True
+        self._kernel_fault_op = op
+
+    def take_kernel_fault(self, kind: str) -> bool:
+        """Consume the armed kernel fault if *kind* matches."""
+        if not self._kernel_fault_pending:
+            return False
+        if self._kernel_fault_op is not None and self._kernel_fault_op != kind:
+            return False
+        self._kernel_fault_pending = False
+        self._kernel_fault_op = None
+        return True
 
     @property
     def default_stream(self) -> "Stream":

@@ -1,0 +1,68 @@
+"""Simulated-hardware fault exceptions.
+
+The fault-injection subsystem (:mod:`repro.faults`) flips fault state on
+:class:`~repro.gpusim.device.Device` and
+:class:`~repro.gpusim.interconnect.Link` objects; the simulator raises
+these exceptions at the same points real CUDA surfaces the corresponding
+errors — a kernel launch on a lost device, a peer copy over a dead link.
+The recovery layer in :mod:`repro.engine.recovery` catches them and
+reacts per the run's :class:`~repro.engine.recovery.RecoveryPolicy`.
+
+These classes live in ``gpusim`` (not ``repro.faults``) because the
+hardware model must be able to raise them without importing the
+fault-plan machinery layered on top of it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultError", "DeviceLost", "LinkDown", "KernelFault"]
+
+
+class FaultError(RuntimeError):
+    """Base class for simulated hardware faults."""
+
+
+class DeviceLost(FaultError):
+    """An operation touched a device that has failed (permanent loss)."""
+
+    def __init__(self, device_id: int, message: str | None = None):
+        self.device_id = int(device_id)
+        super().__init__(
+            message or f"device {device_id} is lost (simulated failure)"
+        )
+
+
+class LinkDown(FaultError):
+    """A transfer was attempted over a failed link.
+
+    ``transient=True`` marks a flaky-link fault (the link recovers on a
+    later attempt); ``False`` marks an outage that persists until the
+    fault plan restores the link.
+    """
+
+    def __init__(
+        self,
+        link_name: str,
+        message: str | None = None,
+        transient: bool = False,
+    ):
+        self.link_name = str(link_name)
+        self.transient = bool(transient)
+        kind = "transient failure on" if transient else "down:"
+        super().__init__(message or f"link {kind} {link_name} (simulated)")
+
+
+class KernelFault(FaultError):
+    """A kernel launch failed (simulated NaN / sticky ECC error).
+
+    The device survives; the iteration's outputs are unusable and must
+    be rolled back.
+    """
+
+    def __init__(self, device_id: int, label: str, message: str | None = None):
+        self.device_id = int(device_id)
+        self.label = str(label)
+        super().__init__(
+            message
+            or f"kernel {label!r} faulted on device {device_id} (simulated)"
+        )

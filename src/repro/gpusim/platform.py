@@ -178,6 +178,19 @@ PCIE3_EFFECTIVE_GBPS = 13.0
 PCIE_P2P_GBPS = 6.0
 
 
+def _corrupt_payload(arr: np.ndarray) -> None:
+    """Deterministically flip one element of a delivered payload.
+
+    Models silent data corruption on a link: the perturbation breaks
+    count-conservation invariants (Σφ over all words and topics equals
+    the corpus token count) so the engine's post-sync validation can
+    detect it.
+    """
+    if arr.size:
+        flat = arr.reshape(-1)
+        flat[0] = flat[0] + 1  # wraps on unsigned dtypes; still detectable
+
+
 class Machine:
     """One host with GPUs, links, a clock, and a trace.
 
@@ -279,6 +292,29 @@ class Machine:
         key = (min(a, b), max(a, b))
         return self._p2p[key]
 
+    def iter_links(self) -> list[Link]:
+        """Every distinct link on the machine (host uplinks + P2P)."""
+        seen: list[Link] = []
+        for link in list(self.pcie) + list(self._p2p.values()):
+            if link not in seen:
+                seen.append(link)
+        return seen
+
+    def find_link(self, name: str) -> Link:
+        """Look a link up by its label (``pcie[0]``, ``p2p[1-3]``)."""
+        for link in self.iter_links():
+            if link.name == name:
+                return link
+        raise KeyError(
+            f"no link named {name!r}; machine has "
+            f"{[link.name for link in self.iter_links()]}"
+        )
+
+    @property
+    def alive_gpus(self) -> list[Device]:
+        """GPUs that have not been failed by fault injection."""
+        return [g for g in self.gpus if g.alive]
+
     # ------------------------------------------------------------------
     # Timed transfers
     # ------------------------------------------------------------------
@@ -306,9 +342,12 @@ class Machine:
         # Reserve the link starting at the stream frontier / host clock.
         earliest = max(stream.available_at, stream._pending_after, self.host_time)
         l_start, l_end = link.reserve(charged, earliest, direction=0)
+        corrupt = link.take_corruption()
 
         def do_copy() -> None:
             dst.data[...] = src.astype(dst.dtype, copy=False)
+            if corrupt:
+                _corrupt_payload(dst.data)
 
         start, end, _ = stream.enqueue(
             duration=l_end - l_start,
@@ -339,11 +378,19 @@ class Machine:
         charged = src.nbytes if pinned else 2 * src.nbytes
         earliest = max(stream.available_at, stream._pending_after, self.host_time)
         l_start, l_end = link.reserve(charged, earliest, direction=1)
+        corrupt = link.take_corruption()
+
+        def fetch() -> np.ndarray:
+            arr = src.copy_to_host()
+            if corrupt:
+                _corrupt_payload(arr)
+            return arr
+
         start, end, result = stream.enqueue(
             duration=l_end - l_start,
             kind="d2h",
             label=label,
-            fn=src.copy_to_host,
+            fn=fetch,
             not_before=l_start,
             bytes_moved=src.nbytes,
         )
@@ -369,10 +416,13 @@ class Machine:
         # on the producer stream and wait_event on *stream*), as in CUDA.
         earliest = max(stream.available_at, stream._pending_after, self.host_time)
         l_start, l_end = link.reserve(src.nbytes, earliest, direction=direction)
+        corrupt = link.take_corruption()
         src_data = src.data  # bind before enqueue; src must stay live
 
         def do_copy() -> None:
             dst.data[...] = src_data.astype(dst.dtype, copy=False)
+            if corrupt:
+                _corrupt_payload(dst.data)
 
         start, end, _ = stream.enqueue(
             duration=l_end - l_start,

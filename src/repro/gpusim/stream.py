@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.gpusim.errors import DeviceLost, KernelFault
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpusim.device import Device
 
@@ -99,6 +101,10 @@ class Stream:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        if not self.device.alive:
+            raise DeviceLost(self.device.device_id)
+        if self.device.take_kernel_fault(kind):
+            raise KernelFault(self.device.device_id, label)
         start = max(
             self.available_at,
             self._pending_after,

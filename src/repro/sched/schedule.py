@@ -49,6 +49,7 @@ from repro.gpusim.memory import DeviceArray
 from repro.gpusim.platform import Machine
 from repro.gpusim.stream import Event, Stream
 from repro.sched.sync import (
+    TransferRetry,
     broadcast_phi,
     cpu_gather_sync,
     reduce_phi_tree,
@@ -347,12 +348,14 @@ def synchronize_model(
     config: KernelConfig,
     phi_ready: list,
     algorithm: str = "gpu_tree",
+    retry: TransferRetry | None = None,
 ) -> None:
     """Combine the partial φ replicas and refresh every GPU's full φ/n_k.
 
     ``phi_ready[g]`` is the event marking GPU *g*'s update-φ completion.
     ``algorithm`` is ``"gpu_tree"`` (Fig 4) or ``"cpu_gather"`` (the
-    rejected baseline, kept for the ablation).
+    rejected baseline, kept for the ablation). ``retry`` enables
+    fault-tolerant transfers (see :class:`repro.sched.sync.TransferRetry`).
     """
     G = len(workers)
     sync_streams = [w.sync for w in workers]
@@ -362,12 +365,15 @@ def synchronize_model(
     partials = [w.phi_partial for w in workers]
     fulls = [w.phi_full for w in workers]
     if algorithm == "gpu_tree":
-        root = reduce_phi_tree(machine, partials, [w.phi_scratch for w in workers], sync_streams, config)
-        broadcast_phi(machine, root, fulls, sync_streams, config)
+        root = reduce_phi_tree(
+            machine, partials, [w.phi_scratch for w in workers], sync_streams,
+            config, retry=retry,
+        )
+        broadcast_phi(machine, root, fulls, sync_streams, config, retry=retry)
     elif algorithm == "ring":
-        ring_allreduce_phi(machine, partials, fulls, sync_streams, config)
+        ring_allreduce_phi(machine, partials, fulls, sync_streams, config, retry=retry)
     elif algorithm == "cpu_gather":
-        cpu_gather_sync(machine, partials, fulls, sync_streams, config)
+        cpu_gather_sync(machine, partials, fulls, sync_streams, config, retry=retry)
     else:
         raise ValueError(f"unknown sync algorithm {algorithm!r}")
 
@@ -407,6 +413,7 @@ def run_iteration_resident(
     hyper: LDAHyperParams,
     config: KernelConfig,
     sync_algorithm: str = "gpu_tree",
+    retry: TransferRetry | None = None,
 ) -> None:
     """One WorkSchedule1 iteration (M = 1): chunk g is resident on GPU g."""
     G = len(workers)
@@ -418,7 +425,9 @@ def run_iteration_resident(
         )
         for g in range(G)
     ]
-    synchronize_model(machine, workers, hyper, config, phi_ready, sync_algorithm)
+    synchronize_model(
+        machine, workers, hyper, config, phi_ready, sync_algorithm, retry=retry
+    )
 
 
 def run_iteration_streaming(
@@ -430,6 +439,7 @@ def run_iteration_streaming(
     chunks_per_gpu: int,
     sync_algorithm: str = "gpu_tree",
     overlap: bool = True,
+    retry: TransferRetry | None = None,
 ) -> None:
     """One WorkSchedule2 iteration (M > 1): per-iteration chunk streaming.
 
@@ -458,7 +468,9 @@ def run_iteration_streaming(
             down_stream.wait_event(done)
             download_chunk(machine, worker, cr, dc, stream=down_stream)
         phi_ready.append(last_phi_ready)
-    synchronize_model(machine, workers, hyper, config, phi_ready, sync_algorithm)
+    synchronize_model(
+        machine, workers, hyper, config, phi_ready, sync_algorithm, retry=retry
+    )
 
 
 def busy_fractions(intervals, device_ids, t0: float, t1: float) -> dict[int, float]:

@@ -15,10 +15,14 @@ Both algorithms are implemented below; the ablation bench
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
 import numpy as np
 
 from repro.core.kernels import KernelConfig, phi_reduce_cost
 from repro.gpusim.costmodel import KernelCost
+from repro.gpusim.errors import LinkDown
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.memory import DeviceArray
 from repro.gpusim.platform import Machine
@@ -26,11 +30,110 @@ from repro.gpusim.stream import Stream
 from repro.telemetry.context import emit_counter, emit_observe
 
 __all__ = [
+    "TransferRetry",
     "reduce_phi_tree",
     "broadcast_phi",
     "cpu_gather_sync",
     "ring_allreduce_phi",
 ]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class TransferRetry:
+    """Retry policy for link transfers during synchronization.
+
+    When a transfer raises :class:`~repro.gpusim.errors.LinkDown`, it is
+    retried up to ``max_retries`` times; each retry charges an
+    exponentially growing backoff stall (``backoff_seconds`` doubling per
+    attempt) on the issuing stream. If a *peer* link stays down past the
+    retry budget and ``host_fallback`` is set, the copy is re-routed
+    through host memory (d2h on the sender + h2d on the receiver — the
+    degraded CPU-gather path of §5.2), itself retried. ``None`` anywhere
+    a ``retry`` parameter is accepted means fail fast (seed behaviour).
+    """
+
+    max_retries: int = 3
+    backoff_seconds: float = 1e-4
+    host_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_seconds <= 0:
+            raise ValueError("backoff_seconds must be positive")
+
+
+def _with_retry(
+    op: Callable[[], _T],
+    stream: Stream,
+    label: str,
+    retry: TransferRetry | None,
+) -> _T:
+    """Run *op*, retrying on LinkDown with backoff charged to *stream*."""
+    if retry is None:
+        return op()
+    backoff = retry.backoff_seconds
+    for attempt in range(retry.max_retries + 1):
+        try:
+            return op()
+        except LinkDown as exc:
+            if attempt == retry.max_retries:
+                raise
+            emit_counter(
+                "transfer_retries_total", 1,
+                help="link transfers retried after a transient failure",
+                link=exc.link_name, op=label,
+            )
+            stream.enqueue(
+                duration=backoff, kind="stall", label=f"retry_backoff:{label}"
+            )
+            backoff *= 2.0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _resilient_p2p(
+    machine: Machine,
+    dst: DeviceArray,
+    src: DeviceArray,
+    dst_stream: Stream,
+    src_stream: Stream,
+    label: str,
+    retry: TransferRetry | None,
+) -> tuple[float, float]:
+    """P2P copy with retry and, when the peer link stays down, a degraded
+    re-route through host memory (the paper's rejected gather path,
+    pressed into service as a fault-tolerance fallback)."""
+    try:
+        return _with_retry(
+            lambda: machine.memcpy_p2p(dst, src, stream=dst_stream, label=label),
+            dst_stream, label, retry,
+        )
+    except LinkDown as exc:
+        if retry is None or not retry.host_fallback:
+            raise
+        emit_counter(
+            "degraded_sync_total", 1,
+            help="p2p transfers re-routed through host memory",
+            link=exc.link_name, op=label,
+        )
+        _, _, host = _with_retry(
+            lambda: machine.memcpy_d2h(
+                src, stream=src_stream, label=f"{label}_via_host_d2h",
+                pinned=False,
+            ),
+            src_stream, f"{label}_via_host_d2h", retry,
+        )
+        staged = src_stream.record(label=f"{label}_staged")
+        dst_stream.wait_event(staged)
+        return _with_retry(
+            lambda: machine.memcpy_h2d(
+                dst, host, stream=dst_stream, label=f"{label}_via_host_h2d",
+                pinned=False,
+            ),
+            dst_stream, f"{label}_via_host_h2d", retry,
+        )
 
 
 def _add_kernel(dst: DeviceArray, src: DeviceArray, config: KernelConfig) -> KernelLaunch:
@@ -54,6 +157,7 @@ def reduce_phi_tree(
     scratch: list[DeviceArray],
     streams: list[Stream],
     config: KernelConfig,
+    retry: TransferRetry | None = None,
 ) -> DeviceArray:
     """Tree-reduce the partial replicas into ``partials[0]`` (Fig 4).
 
@@ -73,8 +177,9 @@ def reduce_phi_tree(
             sender = i + stride
             ready = streams[sender].record(label=f"phi_ready[{sender}]")
             streams[i].wait_event(ready)
-            c_start, _ = machine.memcpy_p2p(
-                scratch[i], partials[sender], stream=streams[i], label="phi_reduce_copy"
+            c_start, _ = _resilient_p2p(
+                machine, scratch[i], partials[sender], streams[i],
+                streams[sender], "phi_reduce_copy", retry,
             )
             emit_counter(
                 "sync_bytes_total", partials[sender].nbytes,
@@ -99,6 +204,7 @@ def broadcast_phi(
     destinations: list[DeviceArray],
     streams: list[Stream],
     config: KernelConfig,
+    retry: TransferRetry | None = None,
 ) -> None:
     """Tree-broadcast *source* (the reduced φ on GPU 0) to every GPU.
 
@@ -138,11 +244,9 @@ def broadcast_phi(
             if peer < G:
                 ready = streams[h].record(label=f"phi_have[{h}]")
                 streams[peer].wait_event(ready)
-                machine.memcpy_p2p(
-                    destinations[peer],
-                    destinations[h],
-                    stream=streams[peer],
-                    label="phi_broadcast_copy",
+                _resilient_p2p(
+                    machine, destinations[peer], destinations[h],
+                    streams[peer], streams[h], "phi_broadcast_copy", retry,
                 )
                 emit_counter(
                     "sync_bytes_total", destinations[h].nbytes,
@@ -160,6 +264,7 @@ def cpu_gather_sync(
     destinations: list[DeviceArray],
     streams: list[Stream],
     config: KernelConfig,
+    retry: TransferRetry | None = None,
 ) -> None:
     """The intuitive baseline the paper rejects (§5.2): pull every
     replica to the host, add on the CPU, push the sum back to every GPU.
@@ -173,8 +278,11 @@ def cpu_gather_sync(
         # The gather lands in the host model arrays — pageable memory,
         # so it runs at the staging-copy rate (unlike the pinned chunk
         # buffers WorkSchedule2 streams through).
-        _, _, arr = machine.memcpy_d2h(
-            partials[g], stream=streams[g], label="phi_gather", pinned=False
+        _, _, arr = _with_retry(
+            lambda g=g: machine.memcpy_d2h(
+                partials[g], stream=streams[g], label="phi_gather", pinned=False
+            ),
+            streams[g], "phi_gather", retry,
         )
         emit_counter(
             "sync_bytes_total", partials[g].nbytes,
@@ -203,9 +311,12 @@ def cpu_gather_sync(
         label="phi_host_add",
     )
     for g in range(G):
-        machine.memcpy_h2d(
-            destinations[g], total, stream=streams[g], label="phi_scatter",
-            pinned=False,
+        _with_retry(
+            lambda g=g: machine.memcpy_h2d(
+                destinations[g], total, stream=streams[g], label="phi_scatter",
+                pinned=False,
+            ),
+            streams[g], "phi_scatter", retry,
         )
         emit_counter(
             "sync_bytes_total", destinations[g].nbytes,
@@ -220,6 +331,7 @@ def ring_allreduce_phi(
     fulls: list[DeviceArray],
     streams: list[Stream],
     config: KernelConfig,
+    retry: TransferRetry | None = None,
 ) -> None:
     """Ring all-reduce — the alternative the tree is benchmarked against.
 
@@ -303,9 +415,9 @@ def ring_allreduce_phi(
         for g in range(G):
             dst = (g + 1) % G
             streams[dst].wait_event(stage_events[g])
-            machine.memcpy_p2p(
-                recv_bufs[dst], send_bufs[g], stream=streams[dst],
-                label="ring_transfer",
+            _resilient_p2p(
+                machine, recv_bufs[dst], send_bufs[g], streams[dst],
+                streams[g], "ring_transfer", retry,
             )
             emit_counter(
                 "sync_bytes_total", send_bufs[g].nbytes,

@@ -172,3 +172,105 @@ class TestFormatCompat:
         topics, counts = ckpt.theta.row(1)
         assert topics.size == 0 and counts.size == 0
         assert ckpt.theta.num_docs == 3
+
+
+class TestIntegrity:
+    """Format 3: atomic writes and SHA-256 content checksums."""
+
+    def test_no_temp_file_left_behind(self, result, tmp_path):
+        save_model(result, tmp_path / "model.npz")
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "model.npz"]
+        assert leftovers == []
+
+    def test_failed_write_leaves_previous_checkpoint(self, result, tmp_path):
+        """os.replace semantics: a save that dies mid-write must not
+        destroy the last good checkpoint."""
+        import repro.core.serialization as ser
+
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        good = p.read_bytes()
+
+        real_savez = np.savez_compressed
+
+        def exploding_savez(fh, **fields):
+            real_savez(fh, **{k: fields[k] for k in list(fields)[:2]})
+            raise OSError("disk full")
+
+        old = ser.np.savez_compressed
+        ser.np.savez_compressed = exploding_savez
+        try:
+            with pytest.raises(OSError):
+                save_model(result, p)
+        finally:
+            ser.np.savez_compressed = old
+        assert p.read_bytes() == good
+        assert [q.name for q in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_truncated_file_rejected(self, result, tmp_path):
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        raw = p.read_bytes()
+        p.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="truncated|corrupted"):
+            load_model(p)
+
+    def test_bit_flip_rejected(self, result, tmp_path):
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        raw = bytearray(p.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        p.write_bytes(bytes(raw))
+        with pytest.raises(ValueError):
+            load_model(p)
+
+    def test_tampered_field_names_digests(self, result, tmp_path):
+        """A valid archive whose contents were rewritten fails the
+        checksum with an error naming expected vs actual digest."""
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        with np.load(p) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["phi"] = fields["phi"].copy()
+        fields["phi"][0, 0] += 1
+        np.savez_compressed(p, **fields)
+        with pytest.raises(ValueError, match="expected digest"):
+            load_model(p)
+
+    def test_checksum_required_for_v3(self, result, tmp_path):
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        with np.load(p) as data:
+            fields = {k: data[k] for k in data.files if k != "checksum"}
+        np.savez_compressed(p, **fields)
+        with pytest.raises(ValueError, match="checksum"):
+            load_model(p)
+
+    def test_pre_checksum_versions_still_load(self, result, tmp_path):
+        """v1/v2 files predate checksums and must load unverified."""
+        p = tmp_path / "model.npz"
+        save_model(result, p)
+        with np.load(p) as data:
+            fields = {k: data[k] for k in data.files if k != "checksum"}
+        fields["format_version"] = np.int64(2)
+        np.savez_compressed(p, **fields)
+        ckpt = load_model(p)
+        assert np.array_equal(ckpt.phi, result.phi)
+
+    def test_run_state_checksummed_too(self, result, tmp_path):
+        from repro.core.serialization import load_run_state
+        from repro.corpus.synthetic import nytimes_like
+
+        corpus = nytimes_like(num_tokens=8_000, num_topics=8, seed=9)
+        trainer = CuLDA(
+            corpus, pascal_platform(2),
+            TrainConfig(num_topics=8, iterations=2, seed=0),
+        )
+        p = tmp_path / "run.npz"
+        trainer.train(save_every=2, checkpoint_path=p)
+        assert load_run_state(p).iteration == 2
+        raw = p.read_bytes()
+        p.write_bytes(raw[: len(raw) - 40])
+        with pytest.raises(ValueError, match="truncated|corrupted|integrity"):
+            load_run_state(p)

@@ -157,6 +157,35 @@ class TestRingAllReduce:
                      TrainConfig(**base, sync_algorithm="ring")).train()
         assert np.array_equal(tree.phi, ring.phi)
 
+
+class TestSyncAlgorithmEquivalence:
+    """Every sync algorithm is an implementation detail: at the trainer
+    level the model must be bit-identical to the reduce-tree baseline
+    for every GPU count (the chunk layout, not the sync path, decides
+    the sampled z)."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.corpus.synthetic import pubmed_like
+
+        return pubmed_like(num_tokens=12_000, num_topics=8, seed=3)
+
+    def _phi(self, corpus, gpus, sync):
+        from repro.core import CuLDA, TrainConfig
+
+        return CuLDA(
+            corpus, pascal_platform(gpus),
+            TrainConfig(num_topics=16, iterations=3, seed=0,
+                        sync_algorithm=sync),
+        ).train().phi
+
+    @pytest.mark.parametrize("num_gpus", [2, 3, 4])
+    @pytest.mark.parametrize("sync", ["ring", "cpu_gather"])
+    def test_bit_identical_to_tree(self, corpus, sync, num_gpus):
+        tree = self._phi(corpus, num_gpus, "gpu_tree")
+        other = self._phi(corpus, num_gpus, sync)
+        assert np.array_equal(tree, other)
+
     def test_ring_moves_less_data_per_link_at_scale(self):
         """At G=4 with a large φ, the ring's per-link volume
         (2·3/4 replicas) undercuts the tree's (log2(4)+log2(4) = 4 × a
