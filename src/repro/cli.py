@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Four subcommands::
+Six subcommands::
 
     repro-lda train    # train CuLDA_CGS on a UCI file or synthetic twin
     repro-lda infer    # fold new documents into a saved model
     repro-lda project  # print a paper artifact (table4/table5/fig7/fig9)
     repro-lda profile  # instrumented run: breakdown, Gantt, counters
+    repro-lda serve    # replay a request trace through the online service
+    repro-lda loadgen  # Poisson open-loop load test of the service
 
 Examples
 --------
@@ -22,6 +24,10 @@ Examples
     repro-lda project table4
     repro-lda profile --platform volta --gpus 4 --iterations 5 \
         --trace out.json --metrics out.prom --events out.jsonl
+    repro-lda serve --model model.npz --trace requests.jsonl --gpus 2
+    repro-lda loadgen --model model.npz --rate 2000 --duration 0.05 \
+        --gpus 2 --deadline 0.01 --metrics serve.prom
+    repro-lda loadgen --model model.npz --smoke      # CI-sized preset
 """
 
 from __future__ import annotations
@@ -48,6 +54,20 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(
             f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
         )
     return value
 
@@ -159,6 +179,67 @@ def build_parser() -> argparse.ArgumentParser:
                     help="stream the training events as JSONL")
     pr.add_argument("--top", type=_positive_int, default=12,
                     help="counter rows to print")
+
+    def add_service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--platform", choices=PLATFORMS, default="volta")
+        p.add_argument("--gpus", type=_positive_int, default=1,
+                       help="replicas (one phi replica per simulated GPU)")
+        p.add_argument("--max-batch-size", type=_positive_int, default=8)
+        p.add_argument("--max-wait", type=_positive_float, default=2e-3,
+                       metavar="SECONDS",
+                       help="micro-batcher wait bound (simulated seconds)")
+        p.add_argument("--max-queue", type=_positive_int, default=64,
+                       help="bounded-queue admission limit "
+                       "(pending + in-flight requests)")
+        p.add_argument("--cache-capacity", type=_positive_int, default=2,
+                       help="resident models in the LRU cache")
+        p.add_argument("--iterations", type=_positive_int, default=5,
+                       help="default fold-in sweeps per request")
+        p.add_argument("--deadline", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="default per-request deadline (simulated)")
+        p.add_argument("--faults", metavar="PLAN.json",
+                       help="fault plan; 'iteration' fields fire per "
+                       "batch sequence number")
+        p.add_argument("--metrics", metavar="FILE",
+                       help="write a Prometheus text-format snapshot")
+        p.add_argument("--top", type=_positive_int, default=10,
+                       help="counter rows to print")
+
+    se = sub.add_parser(
+        "serve",
+        help="replay a JSONL request trace through the online "
+        "inference service",
+    )
+    se.add_argument("--model", required=True,
+                    help="default checkpoint for requests without a "
+                    "'model' field")
+    se.add_argument("--trace", required=True, metavar="FILE.jsonl",
+                    help="request trace (one JSON object per line)")
+    add_service_args(se)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load test of the serving path",
+    )
+    lg.add_argument("--model", action="append", required=True,
+                    help="checkpoint(s) to serve; repeat to spread load "
+                    "over several models (exercises the cache)")
+    lg.add_argument("--rate", type=_positive_float, default=2000.0,
+                    help="mean arrival rate (requests/simulated second)")
+    lg.add_argument("--duration", type=_positive_float, default=0.05,
+                    help="trace length (simulated seconds)")
+    lg.add_argument("--mean-doc-len", type=_positive_int, default=20)
+    lg.add_argument("--max-docs", type=_positive_int, default=3,
+                    help="documents per request (uniform in [1, N])")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--smoke", action="store_true",
+                    help="CI preset: small fixed trace, fails if any "
+                    "request is lost")
+    lg.add_argument("--save-trace", metavar="FILE.jsonl",
+                    help="also write the generated trace (replayable "
+                    "with 'serve --trace')")
+    add_service_args(lg)
 
     p = sub.add_parser("project", help="print a paper artifact")
     p.add_argument("artifact", choices=("table1", "table4", "table5",
@@ -435,6 +516,125 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_from_args(args: argparse.Namespace):
+    """Build an (InferenceService, registry) pair, or None on bad input."""
+    from repro.gpusim.platform import make_machine
+    from repro.serve import InferenceService, ServiceConfig
+    from repro.telemetry import MetricsRegistry
+
+    fault_plan = _load_fault_plan(args.faults)
+    if fault_plan is _BAD_PLAN:
+        return None
+    registry = MetricsRegistry()
+    service = InferenceService(
+        make_machine(args.platform, args.gpus),
+        ServiceConfig(
+            max_batch_size=args.max_batch_size,
+            max_wait_seconds=args.max_wait,
+            max_queue=args.max_queue,
+            cache_capacity=args.cache_capacity,
+            iterations=args.iterations,
+            deadline_seconds=args.deadline,
+        ),
+        registry=registry,
+        fault_plan=fault_plan,
+    )
+    return service, registry
+
+
+def _print_serve_report(report, registry, machine_name: str, top: int) -> None:
+    print(f"serving report ({machine_name}):")
+    print(report.summary())
+    if report.fault_events:
+        print(f"fault events ({len(report.fault_events)} injected):")
+        for event in report.fault_events:
+            detail = " ".join(
+                f"{k}={v}" for k, v in event.items() if k != "kind"
+            )
+            print(f"  {event['kind']:<24s} {detail}")
+    print()
+    print(f"top counters (of {len(registry)} metric families):")
+    for s in registry.top_counters(top):
+        label_s = ",".join(f"{k}={v}" for k, v in sorted(s.labels.items()))
+        name = f"{s.name}{{{label_s}}}" if label_s else s.name
+        print(f"  {name:<56s} {s.value:>14,.0f}")
+
+
+def _write_service_metrics(registry, path: str | None) -> None:
+    if not path:
+        return
+    from repro.telemetry.exporters import to_prometheus
+
+    with open(path, "w") as fh:
+        fh.write(to_prometheus(registry))
+    print(f"prometheus metrics written to {path}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import read_trace_jsonl
+
+    pair = _service_from_args(args)
+    if pair is None:
+        return 2
+    service, registry = pair
+    try:
+        requests = read_trace_jsonl(args.trace, default_model=args.model)
+    except (OSError, ValueError) as exc:
+        print(f"error: invalid trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    report = service.run_trace(requests)
+    _print_serve_report(report, registry, service.machine.name, args.top)
+    _write_service_metrics(registry, args.metrics)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.core import load_model
+    from repro.serve import poisson_trace, write_trace_jsonl
+
+    if args.smoke:
+        # Small fixed preset so CI exercises the whole serving path in
+        # a couple of seconds regardless of the other flags.
+        args.rate, args.duration = 2000.0, 0.01
+        args.mean_doc_len, args.max_docs = 15, 2
+    try:
+        num_words = min(
+            load_model(path).phi.shape[1] for path in args.model
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: could not load model: {exc}", file=sys.stderr)
+        return 2
+    pair = _service_from_args(args)
+    if pair is None:
+        return 2
+    service, registry = pair
+    requests = poisson_trace(
+        args.model, num_words,
+        rate=args.rate, duration=args.duration, seed=args.seed,
+        mean_doc_len=args.mean_doc_len,
+        max_docs_per_request=args.max_docs,
+        deadline_seconds=args.deadline,
+    )
+    if not requests:
+        print("error: trace is empty; raise --rate or --duration",
+              file=sys.stderr)
+        return 2
+    if args.save_trace:
+        write_trace_jsonl(requests, args.save_trace)
+        print(f"trace written to {args.save_trace}")
+    print(f"loadgen: {len(requests)} requests at {args.rate:.0f} req/s "
+          f"over {args.duration * 1e3:.1f} ms "
+          f"({len(args.model)} model(s), {args.gpus} replica(s))")
+    report = service.run_trace(requests)
+    _print_serve_report(report, registry, service.machine.name, args.top)
+    _write_service_metrics(registry, args.metrics)
+    if args.smoke and report.count("completed") != len(requests):
+        print("error: smoke run lost requests (expected every request "
+              "to complete)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_project(args: argparse.Namespace) -> int:
     if args.artifact == "table1":
         from repro.analysis.roofline import format_table1
@@ -478,6 +678,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_infer(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     return _cmd_project(args)
 
 

@@ -76,6 +76,12 @@ def infer_documents(
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    phi = np.asarray(phi)
+    if phi.ndim != 2:
+        raise ValueError(
+            f"phi must be a 2-D (num_topics, vocab) array, got shape "
+            f"{phi.shape}"
+        )
     K = hyper.num_topics
     if phi.shape[0] != K:
         raise ValueError(f"phi has {phi.shape[0]} topics, hyper says {K}")
@@ -84,6 +90,7 @@ def infer_documents(
             f"corpus vocabulary ({corpus.num_words}) exceeds phi columns "
             f"({phi.shape[1]}); map unseen words before inference"
         )
+    _check_word_ids(corpus, phi.shape[1])
     config = config or KernelConfig(compressed=False)
     burn_in = iterations // 2 if burn_in is None else burn_in
     if not 0 <= burn_in < iterations:
@@ -130,6 +137,24 @@ def infer_documents(
     )
 
 
+def _check_word_ids(corpus: Corpus, vocab: int) -> None:
+    """Reject word ids that would index past φ's columns.
+
+    ``corpus.num_words`` is caller-declared, so a corpus built with an
+    understated vocabulary can still carry out-of-range ids; without
+    this check they surface as an opaque ``IndexError`` deep inside the
+    sampling kernel (or, worse, as silently wrong einsum gathers).
+    """
+    if corpus.num_tokens == 0:
+        return
+    widest = int(corpus.token_word.max())
+    if widest >= vocab:
+        raise ValueError(
+            f"corpus contains word id {widest} but phi has only {vocab} "
+            f"columns; map unseen words before inference"
+        )
+
+
 def held_out_log_likelihood(
     corpus: Corpus,
     doc_topic: np.ndarray,
@@ -145,6 +170,13 @@ def held_out_log_likelihood(
     """
     if corpus.num_tokens == 0:
         raise ValueError("empty corpus")
+    phi = np.asarray(phi)
+    if phi.ndim != 2:
+        raise ValueError(
+            f"phi must be a 2-D (num_topics, vocab) array, got shape "
+            f"{phi.shape}"
+        )
+    _check_word_ids(corpus, phi.shape[1])
     beta, V = hyper.beta, phi.shape[1]
     word_dist = (phi + beta) / (n_k + beta * V)[:, None]  # (K, V)
     docs = corpus.token_doc.astype(np.int64)

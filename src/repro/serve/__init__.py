@@ -1,0 +1,44 @@
+"""Online inference serving over the simulated multi-GPU machine.
+
+The training side of this repo reproduces CuLDA_CGS; this package is
+the *serving* side the ROADMAP's north star asks for: fold-in inference
+as an online service with micro-batching, per-GPU φ replicas, an LRU
+model cache, bounded-queue admission control, and dead-replica
+failover. See ``docs/SERVING.md`` for the architecture and SLO
+semantics, and ``repro-lda serve`` / ``repro-lda loadgen`` for the CLI.
+"""
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.cache import ModelCache, checkpoint_digest
+from repro.serve.loadgen import poisson_trace, read_trace_jsonl, write_trace_jsonl
+from repro.serve.replica import PhiReplica, foldin_batch_cost
+from repro.serve.request import (
+    DeadlineExceeded,
+    InferenceRequest,
+    RequestRejected,
+    RequestResult,
+    ServeError,
+)
+from repro.serve.scheduler import ReplicaScheduler
+from repro.serve.service import InferenceService, ServiceConfig, ServiceReport
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "ModelCache",
+    "checkpoint_digest",
+    "poisson_trace",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+    "PhiReplica",
+    "foldin_batch_cost",
+    "InferenceRequest",
+    "RequestResult",
+    "ServeError",
+    "RequestRejected",
+    "DeadlineExceeded",
+    "ReplicaScheduler",
+    "InferenceService",
+    "ServiceConfig",
+    "ServiceReport",
+]

@@ -1,0 +1,132 @@
+"""Synthetic load generation and trace replay for the serving path.
+
+Two arrival sources:
+
+- :func:`poisson_trace` — open-loop Poisson arrivals (exponential
+  inter-arrival gaps at ``rate`` req/s), each request carrying a few
+  synthetic documents whose word ids fit the served model's φ. Open
+  loop means arrivals do not wait for completions — the honest way to
+  measure queueing behavior at and beyond capacity.
+- :func:`read_trace_jsonl` / :func:`write_trace_jsonl` — replay a
+  recorded trace (one JSON object per line; see
+  :meth:`~repro.serve.request.InferenceRequest.from_dict` for the
+  schema), so a production arrival pattern can be re-run against a new
+  policy or platform.
+
+Everything is seeded and deterministic: the same spec yields the same
+trace, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.request import InferenceRequest
+
+__all__ = ["poisson_trace", "read_trace_jsonl", "write_trace_jsonl"]
+
+
+def poisson_trace(
+    model_keys: list[str],
+    num_words: int,
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    mean_doc_len: int = 20,
+    max_docs_per_request: int = 3,
+    iterations: int | None = None,
+    deadline_seconds: float | None = None,
+) -> list[InferenceRequest]:
+    """A deterministic open-loop Poisson arrival trace.
+
+    Parameters
+    ----------
+    model_keys: checkpoint paths to spread requests over (uniformly).
+    num_words: vocabulary bound for generated word ids (the served
+        model's φ columns).
+    rate: mean arrival rate, requests per simulated second.
+    duration: trace length in simulated seconds.
+    mean_doc_len: mean tokens per document (geometric lengths, min 1).
+    max_docs_per_request: documents per request drawn uniformly from
+        ``[1, max_docs_per_request]``.
+    """
+    if not model_keys:
+        raise ValueError("at least one model key is required")
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    if num_words < 1:
+        raise ValueError("num_words must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Zipf-ish word popularity so batches share hot words (the
+    # amortization the micro-batcher exists to exploit).
+    ranks = np.arange(1, num_words + 1, dtype=np.float64)
+    popularity = 1.0 / ranks
+    popularity /= popularity.sum()
+
+    requests: list[InferenceRequest] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= duration:
+            break
+        num_docs = int(rng.integers(1, max_docs_per_request + 1))
+        docs = []
+        for _ in range(num_docs):
+            length = 1 + int(rng.geometric(1.0 / max(mean_doc_len, 1)))
+            words = rng.choice(num_words, size=length, p=popularity)
+            docs.append(tuple(int(w) for w in words))
+        requests.append(
+            InferenceRequest(
+                request_id=len(requests),
+                docs=tuple(docs),
+                arrival_time=t,
+                model_key=str(rng.choice(model_keys)),
+                seed=int(rng.integers(0, 2**31 - 1)),
+                iterations=iterations,
+                deadline_seconds=deadline_seconds,
+            )
+        )
+    return requests
+
+
+def read_trace_jsonl(path: str | Path, default_model: str) -> list[InferenceRequest]:
+    """Parse a JSONL request trace (skipping blank lines)."""
+    requests: list[InferenceRequest] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno + 1}: not valid JSON ({exc})"
+                ) from exc
+            requests.append(
+                InferenceRequest.from_dict(data, len(requests), default_model)
+            )
+    if not requests:
+        raise ValueError(f"trace {path} contains no requests")
+    return requests
+
+
+def write_trace_jsonl(requests: list[InferenceRequest], path: str | Path) -> None:
+    """Persist a trace in the JSONL schema :func:`read_trace_jsonl` reads."""
+    with open(path, "w") as fh:
+        for req in requests:
+            record = {
+                "id": req.request_id,
+                "arrival": req.arrival_time,
+                "docs": [list(d) for d in req.docs],
+                "model": req.model_key,
+                "seed": req.seed,
+            }
+            if req.iterations is not None:
+                record["iterations"] = req.iterations
+            if req.deadline_seconds is not None:
+                record["deadline"] = req.deadline_seconds
+            fh.write(json.dumps(record) + "\n")

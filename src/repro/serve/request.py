@@ -1,0 +1,186 @@
+"""Request and result types for the online inference service.
+
+A :class:`InferenceRequest` is one client's fold-in call: a handful of
+unseen documents, a model to fold them into, an arrival time on the
+simulated clock, and an optional latency deadline. The service answers
+every admitted request with a :class:`RequestResult` whose terminal
+``status`` is one of :data:`STATUSES`; rejected requests never enter
+the queue and carry no payload.
+
+Failure taxonomy
+----------------
+- :class:`RequestRejected` — admission control refused the request
+  (bounded queue full, unknown model). Raised synchronously at submit
+  time; in trace-driven runs it is recorded as a ``rejected`` result.
+- :class:`DeadlineExceeded` — the request was admitted but could not be
+  served within its deadline (either it aged out in the queue or its
+  batch completed too late). The computed payload, if any, is dropped.
+- :class:`ServeError` — base class; also raised when no alive replica
+  remains to serve a batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "STATUSES",
+    "InferenceRequest",
+    "RequestResult",
+    "ServeError",
+    "RequestRejected",
+    "DeadlineExceeded",
+]
+
+#: Terminal request states, as recorded in ``serve_requests_total{status}``.
+STATUSES = ("completed", "rejected", "deadline_exceeded", "failed")
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-path failures."""
+
+
+class RequestRejected(ServeError):
+    """Admission control refused the request before it was queued."""
+
+    def __init__(self, request_id: int, reason: str, message: str | None = None):
+        self.request_id = int(request_id)
+        self.reason = str(reason)
+        super().__init__(
+            message
+            or f"request {request_id} rejected: {reason}"
+        )
+
+
+class DeadlineExceeded(ServeError):
+    """An admitted request missed its latency deadline."""
+
+    def __init__(self, request_id: int, deadline: float, latency: float):
+        self.request_id = int(request_id)
+        self.deadline = float(deadline)
+        self.latency = float(latency)
+        super().__init__(
+            f"request {request_id} exceeded its {deadline * 1e3:.3f} ms "
+            f"deadline (latency {latency * 1e3:.3f} ms)"
+        )
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One fold-in request.
+
+    Attributes
+    ----------
+    request_id: caller-assigned id, unique within a trace.
+    docs: per-document token-id tuples (word ids index the model's φ
+        columns).
+    arrival_time: arrival on the simulated clock, seconds.
+    model_key: checkpoint path of the model to serve (the LRU cache
+        resolves it to a format-v3 digest).
+    seed: fold-in RNG seed. Results are a pure function of
+        ``(docs, model, seed, iterations)`` — independent of batching,
+        replica placement, and failover.
+    iterations: Gibbs sweeps (``None`` → the service default).
+    deadline_seconds: max acceptable latency from arrival (``None`` →
+        the service default; both ``None`` → no deadline).
+    """
+
+    request_id: int
+    docs: tuple[tuple[int, ...], ...]
+    arrival_time: float = 0.0
+    model_key: str = ""
+    seed: int = 0
+    iterations: int | None = None
+    deadline_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        docs = tuple(tuple(int(w) for w in d) for d in self.docs)
+        object.__setattr__(self, "docs", docs)
+        if not docs or all(len(d) == 0 for d in docs):
+            raise ValueError(
+                f"request {self.request_id} carries no tokens; fold-in "
+                "needs at least one token"
+            )
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        if self.iterations is not None and self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+
+    @property
+    def num_docs(self) -> int:
+        return len(self.docs)
+
+    @property
+    def num_tokens(self) -> int:
+        return sum(len(d) for d in self.docs)
+
+    @classmethod
+    def from_dict(cls, data: dict, request_id: int, default_model: str) -> "InferenceRequest":
+        """Build a request from one JSONL trace record.
+
+        Recognized keys: ``docs`` (required), ``arrival`` (seconds,
+        default 0), ``model`` (checkpoint path), ``seed``,
+        ``iterations``, ``deadline`` (seconds).
+        """
+        if "docs" not in data:
+            raise ValueError(f"trace record {request_id} has no 'docs'")
+        return cls(
+            request_id=int(data.get("id", request_id)),
+            docs=tuple(tuple(d) for d in data["docs"]),
+            arrival_time=float(data.get("arrival", 0.0)),
+            model_key=str(data.get("model", default_model)),
+            seed=int(data.get("seed", 0)),
+            iterations=(
+                int(data["iterations"]) if "iterations" in data else None
+            ),
+            deadline_seconds=(
+                float(data["deadline"]) if "deadline" in data else None
+            ),
+        )
+
+
+@dataclass
+class RequestResult:
+    """Terminal outcome of one request.
+
+    ``doc_topic`` is the same row-normalized smoothed mixture a direct
+    :func:`repro.core.inference.infer_documents` call returns — the
+    serving path is bit-identical to it (tested). Times are on the
+    simulated clock.
+    """
+
+    request: InferenceRequest
+    status: str
+    doc_topic: np.ndarray | None = None
+    log_likelihood_per_token: float | None = None
+    dispatch_time: float | None = None
+    completion_time: float | None = None
+    replica: int | None = None
+    batch_id: int | None = None
+    error: str | None = None
+    failovers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"status must be one of {STATUSES}, got {self.status!r}"
+            )
+
+    @property
+    def latency(self) -> float | None:
+        """Completion − arrival on the simulated clock (None if never
+        completed)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.request.arrival_time
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Dispatch − arrival (time spent waiting to be batched)."""
+        if self.dispatch_time is None:
+            return None
+        return self.dispatch_time - self.request.arrival_time

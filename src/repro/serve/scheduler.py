@@ -1,0 +1,117 @@
+"""Replica scheduling: least-loaded routing with dead-replica failover.
+
+The scheduler owns one :class:`~repro.serve.replica.PhiReplica` per
+simulated GPU. Each batch is routed to the *least-loaded* alive replica
+— the one whose serve stream drains earliest — with residency as the
+tie-breaker (a replica that already holds the batch's φ skips the
+broadcast upload).
+
+Failover reuses the PR 3 fault surface: a dispatch that raises
+:class:`~repro.gpusim.errors.DeviceLost`,
+:class:`~repro.gpusim.errors.LinkDown`, or
+:class:`~repro.gpusim.errors.KernelFault` moves the batch to the next
+candidate replica. Because each request's fold-in is a pure function of
+``(docs, φ, seed, iterations)``, a failed-over batch returns exactly
+the bytes the dead replica would have — only its completion time
+changes. When every replica is exhausted the batch fails with a
+:class:`~repro.serve.request.ServeError` naming the last fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kernels import KernelConfig
+from repro.core.model import LDAHyperParams
+from repro.gpusim.errors import DeviceLost, FaultError
+from repro.gpusim.platform import Machine
+from repro.serve.replica import BatchExecution, PhiReplica
+from repro.serve.request import InferenceRequest, ServeError
+
+__all__ = ["DispatchOutcome", "ReplicaScheduler"]
+
+
+@dataclass
+class DispatchOutcome:
+    """One batch's execution plus the failover path it took."""
+
+    execution: BatchExecution
+    failovers: int
+    phi_uploaded: bool
+
+
+class ReplicaScheduler:
+    """Places φ replicas on the machine's GPUs and routes batches."""
+
+    def __init__(self, machine: Machine):
+        if not machine.gpus:
+            raise ValueError("machine has no GPUs to host replicas")
+        self.machine = machine
+        self.replicas = [PhiReplica(gpu) for gpu in machine.gpus]
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_replicas(self) -> list[PhiReplica]:
+        return [r for r in self.replicas if r.alive]
+
+    def candidates(self, digest: str) -> list[PhiReplica]:
+        """Alive replicas, least-loaded first; residency breaks ties."""
+        return sorted(
+            self.alive_replicas,
+            key=lambda r: (
+                r.busy_until(),
+                not r.has_model(digest),
+                r.replica_id,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        batch: list[InferenceRequest],
+        digest: str,
+        phi: np.ndarray,
+        hyper: LDAHyperParams,
+        default_iterations: int,
+        config: KernelConfig,
+        now: float,
+        batch_id: int,
+    ) -> DispatchOutcome:
+        """Execute *batch* on the best replica, failing over on faults."""
+        failovers = 0
+        last_fault: FaultError | None = None
+        # Snapshot the candidate order once: replicas that fault are
+        # skipped; replicas that die mid-loop are filtered by .alive.
+        for replica in self.candidates(digest):
+            if not replica.alive:
+                continue
+            try:
+                uploaded = replica.ensure_model(digest, phi)
+                execution = replica.execute(
+                    batch, phi, hyper, default_iterations, config,
+                    not_before=now, batch_id=batch_id,
+                )
+                return DispatchOutcome(
+                    execution=execution,
+                    failovers=failovers,
+                    phi_uploaded=uploaded,
+                )
+            except FaultError as exc:
+                last_fault = exc
+                failovers += 1
+                if isinstance(exc, DeviceLost):
+                    # Drop bookkeeping for the dead device; its memory
+                    # is gone with it.
+                    replica._models.clear()
+                continue
+        raise ServeError(
+            f"batch {batch_id} ({len(batch)} request(s)) could not be "
+            f"served: no alive replica succeeded"
+            + (f"; last fault: {last_fault}" if last_fault else "")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        alive = len(self.alive_replicas)
+        return f"ReplicaScheduler(replicas={len(self.replicas)}, alive={alive})"

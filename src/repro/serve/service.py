@@ -1,0 +1,510 @@
+"""The online inference service: queue, batcher, scheduler, cache.
+
+:class:`InferenceService` serves fold-in requests over a simulated
+multi-GPU machine. It is a discrete-event simulation driven by
+:meth:`InferenceService.run_trace`: arrivals and wait-bound batch
+flushes are processed in simulated-time order, batches are routed to
+the least-loaded φ replica, and every per-request outcome lands in a
+:class:`ServiceReport`.
+
+Admission control and backpressure
+----------------------------------
+The request queue is **bounded** (``max_queue``): an arrival that finds
+``max_queue`` requests *in the system* — pending in the batcher **plus**
+dispatched but not yet complete on a replica stream — is rejected
+immediately (``RequestRejected`` / status ``rejected``) rather than
+growing the backlog; under overload the service sheds load instead of
+accumulating unbounded latency. (Bounding only the batcher's pending
+count would never reject: batches leave it instantly and pile up on
+the replica streams instead.) Admitted
+requests additionally carry a **deadline**: one that ages out before
+its batch dispatches is dropped without compute, and one whose batch
+completes too late is counted ``deadline_exceeded`` with its payload
+discarded (the client has already given up).
+
+Conservation invariants (load-tested)::
+
+    submitted = admitted + rejected
+    admitted  = completed + deadline_exceeded + failed
+
+Telemetry
+---------
+All serving metrics flow through the PR 1 registry, so ``repro-lda
+serve``/``loadgen`` print them with the same machinery as ``profile``:
+``serve_requests_total{status}``, ``serve_rejections_total{reason}``,
+``serve_batches_total{replica}``, ``serve_batch_size``,
+``serve_latency_seconds``, ``serve_queue_wait_seconds``,
+``serve_queue_depth`` (+ high-water), cache hit/miss/eviction counters,
+``serve_failovers_total``, and ``serve_phi_uploads_total{replica}``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.core.kernels import KernelConfig
+from repro.gpusim.platform import Machine
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.cache import ModelCache
+from repro.serve.request import (
+    DeadlineExceeded,
+    InferenceRequest,
+    RequestRejected,
+    RequestResult,
+    ServeError,
+)
+from repro.serve.scheduler import ReplicaScheduler
+from repro.telemetry.context import telemetry_session
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["ServiceConfig", "InferenceService", "ServiceReport"]
+
+#: Latency histogram buckets: 10 µs … 10 s of simulated time.
+LATENCY_BUCKETS = tuple(float(10.0**e) for e in range(-5, 2)) + (float("inf"),)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service policy knobs.
+
+    Attributes
+    ----------
+    max_batch_size / max_wait_seconds: the micro-batcher policy.
+    max_queue: bounded-queue admission limit — requests *in the
+        system* (pending in the batcher plus dispatched but not yet
+        complete); arrivals that find it full are rejected.
+    cache_capacity: resident models in the LRU cache.
+    iterations: default fold-in sweeps for requests that don't choose.
+    deadline_seconds: default per-request deadline (None = no default).
+    """
+
+    max_batch_size: int = 8
+    max_wait_seconds: float = 2e-3
+    max_queue: int = 64
+    cache_capacity: int = 2
+    iterations: int = 5
+    deadline_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        # BatchPolicy re-validates its own pair; fail here with the
+        # same message so bad configs never half-construct a service.
+        BatchPolicy(self.max_batch_size, self.max_wait_seconds)
+
+
+@dataclass
+class ServiceReport:
+    """Everything one trace run produced, plus derived SLO metrics."""
+
+    results: list[RequestResult]
+    registry: MetricsRegistry
+    machine: Machine
+    fault_events: list[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def count(self, status: str) -> int:
+        return sum(1 for r in self.results if r.status == status)
+
+    @property
+    def submitted(self) -> int:
+        return len(self.results)
+
+    @property
+    def admitted(self) -> int:
+        return self.submitted - self.count("rejected")
+
+    def latency_quantile(self, q: float) -> float:
+        """Exact latency quantile over requests that completed compute."""
+        hist = self.registry.get("serve_latency_seconds")
+        if hist is None or not hist.count():
+            return float("nan")
+        return hist.quantile(q)
+
+    @property
+    def makespan(self) -> float:
+        """First arrival → last completion, simulated seconds."""
+        arrivals = [r.request.arrival_time for r in self.results]
+        ends = [r.completion_time for r in self.results if r.completion_time]
+        if not arrivals or not ends:
+            return 0.0
+        return max(ends) - min(arrivals)
+
+    @property
+    def throughput_tokens_per_sec(self) -> float:
+        span = self.makespan
+        done = sum(
+            r.request.num_tokens for r in self.results if r.status == "completed"
+        )
+        return done / span if span > 0 else 0.0
+
+    @property
+    def throughput_requests_per_sec(self) -> float:
+        span = self.makespan
+        return self.count("completed") / span if span > 0 else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.count("rejected") / self.submitted if self.results else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.registry.counter("serve_cache_hits_total").value()
+        misses = self.registry.counter("serve_cache_misses_total").value()
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def failovers(self) -> int:
+        return int(self.registry.counter("serve_failovers_total").value())
+
+    def summary(self) -> str:
+        """Human-readable SLO report, built from the telemetry registry."""
+        lines = [
+            f"requests: {self.submitted} submitted, "
+            f"{self.count('completed')} completed, "
+            f"{self.count('rejected')} rejected, "
+            f"{self.count('deadline_exceeded')} deadline-exceeded, "
+            f"{self.count('failed')} failed",
+        ]
+        if self.admitted and not math.isnan(self.latency_quantile(0.5)):
+            lines.append(
+                "latency (simulated): "
+                f"p50 {self.latency_quantile(0.50) * 1e3:.3f} ms, "
+                f"p95 {self.latency_quantile(0.95) * 1e3:.3f} ms, "
+                f"p99 {self.latency_quantile(0.99) * 1e3:.3f} ms"
+            )
+        lines.append(
+            f"throughput: {self.throughput_requests_per_sec:.1f} req/s, "
+            f"{self.throughput_tokens_per_sec / 1e3:.1f} K tokens/s "
+            f"over {self.makespan * 1e3:.3f} ms"
+        )
+        depth_hw = self.registry.gauge("serve_queue_depth_high_water").value()
+        lines.append(
+            f"queue: high-water {int(depth_hw)}, "
+            f"rejection rate {self.rejection_rate:.1%}"
+        )
+        lines.append(
+            f"model cache: hit rate {self.cache_hit_rate:.1%} "
+            f"({int(self.registry.counter('serve_cache_hits_total').value())} hits, "
+            f"{int(self.registry.counter('serve_cache_misses_total').value())} misses, "
+            f"{int(self.registry.counter('serve_cache_evictions_total').value())} evictions)"
+        )
+        if self.failovers:
+            lines.append(f"failovers: {self.failovers}")
+        return "\n".join(lines)
+
+
+class InferenceService:
+    """Online fold-in serving over a simulated multi-GPU machine.
+
+    Parameters
+    ----------
+    machine: the simulated host+GPUs (e.g. from
+        :func:`repro.gpusim.platform.make_machine`); one φ replica is
+        placed per GPU.
+    config: service policy (batching, queue bound, deadlines).
+    registry: telemetry sink (a fresh one when omitted).
+    fault_plan: optional :class:`~repro.faults.FaultPlan`; its
+        ``iteration`` fields are interpreted as **batch sequence
+        numbers** (batch *i* triggers faults scheduled at iteration
+        *i*), reusing the PR 3 injector unchanged.
+    loader / digest_fn: model-cache injection points (tests).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: ServiceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        fault_plan=None,
+        loader=None,
+        digest_fn=None,
+    ):
+        self.machine = machine
+        self.config = config or ServiceConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        cache_kwargs = {}
+        if loader is not None:
+            cache_kwargs["loader"] = loader
+        if digest_fn is not None:
+            cache_kwargs["digest_fn"] = digest_fn
+        self.cache = ModelCache(self.config.cache_capacity, **cache_kwargs)
+        self.batcher = MicroBatcher(
+            BatchPolicy(self.config.max_batch_size, self.config.max_wait_seconds)
+        )
+        self.scheduler = ReplicaScheduler(machine)
+        self.kernel_config = KernelConfig(compressed=False)
+        self.injector = None
+        if fault_plan is not None and len(fault_plan):
+            from repro.faults import FaultInjector
+
+            self.injector = FaultInjector(fault_plan, machine)
+        self._batch_seq = 0
+        #: min-heap of completion times for admitted-but-unfinished
+        #: requests; admission bounds pending + in-flight against it.
+        self._in_flight: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+    def _mark(self, status: str) -> None:
+        self.registry.counter(
+            "serve_requests_total",
+            "Requests by terminal status.",
+            ("status",),
+        ).inc(status=status)
+
+    def _in_system(self, now: float) -> int:
+        """Requests occupying the service at *now*: pending + in-flight.
+
+        In-flight requests (dispatched, simulated completion in the
+        future) count toward the queue bound — otherwise overload would
+        never reject, because dispatch drains the batcher instantly and
+        the backlog hides on the replica streams.
+        """
+        while self._in_flight and self._in_flight[0] <= now:
+            heapq.heappop(self._in_flight)
+        return self.batcher.depth() + len(self._in_flight)
+
+    def _queue_gauges(self, now: float) -> None:
+        depth = self._in_system(now)
+        self.registry.gauge(
+            "serve_queue_depth",
+            "Requests in the system (pending + in-flight).",
+        ).set(depth)
+        self.registry.gauge(
+            "serve_queue_depth_high_water", "Max in-system depth seen."
+        ).set_max(depth)
+
+    # ------------------------------------------------------------------
+    # Trace-driven run
+    # ------------------------------------------------------------------
+    def run_trace(self, requests: list[InferenceRequest]) -> ServiceReport:
+        """Serve *requests* (an offline arrival trace) to completion.
+
+        Requests are processed in ``(arrival_time, request_id)`` order;
+        the returned report lists results in that same order. The run
+        is deterministic: same trace + same machine ⇒ same results and
+        same simulated timings.
+        """
+        ids = [r.request_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request_ids must be unique within a trace")
+        order = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        results: dict[int, RequestResult] = {}
+        with telemetry_session(registry=self.registry):
+            i = 0
+            while i < len(order) or self.batcher.depth():
+                next_arrival = (
+                    order[i].arrival_time if i < len(order) else math.inf
+                )
+                due = self.batcher.next_due()
+                due_time = due[1] if due is not None else math.inf
+                if next_arrival <= due_time:
+                    request = order[i]
+                    i += 1
+                    self._admit(request, results)
+                    while self.batcher.ready(request.model_key):
+                        self._dispatch(
+                            request.model_key, request.arrival_time, results
+                        )
+                else:
+                    self._dispatch(due[0], due_time, results)
+        report = ServiceReport(
+            results=[results[r.request_id] for r in order],
+            registry=self.registry,
+            machine=self.machine,
+            fault_events=list(self.injector.events) if self.injector else [],
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _admit(
+        self, request: InferenceRequest, results: dict[int, RequestResult]
+    ) -> None:
+        """Admission control at arrival time: bounded in-system count."""
+        if self._in_system(request.arrival_time) >= self.config.max_queue:
+            rejection = RequestRejected(
+                request.request_id, "queue_full",
+                f"request {request.request_id} rejected: queue is at its "
+                f"bound ({self.config.max_queue})",
+            )
+            self.registry.counter(
+                "serve_rejections_total", "Rejected requests by reason.",
+                ("reason",),
+            ).inc(reason=rejection.reason)
+            self._mark("rejected")
+            results[request.request_id] = RequestResult(
+                request=request, status="rejected", error=str(rejection)
+            )
+            return
+        self.batcher.enqueue(request)
+        self._queue_gauges(request.arrival_time)
+
+    def _deadline_of(self, request: InferenceRequest) -> float | None:
+        if request.deadline_seconds is not None:
+            return request.deadline_seconds
+        return self.config.deadline_seconds
+
+    def _fail_batch(
+        self,
+        batch: list[InferenceRequest],
+        error: str,
+        results: dict[int, RequestResult],
+        now: float,
+        batch_id: int,
+    ) -> None:
+        for request in batch:
+            self._mark("failed")
+            results[request.request_id] = RequestResult(
+                request=request, status="failed", error=error,
+                dispatch_time=now, batch_id=batch_id,
+            )
+        self._queue_gauges(now)
+
+    def _dispatch(
+        self,
+        model_key: str,
+        now: float,
+        results: dict[int, RequestResult],
+    ) -> None:
+        """Pop one batch for *model_key* and run it at simulated *now*."""
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        if self.injector is not None:
+            self.injector.on_iteration_start(batch_id)
+        batch = self.batcher.pop_batch(model_key)
+        self.machine.advance_host(now)
+
+        try:
+            model, digest, hit = self.cache.get(model_key)
+        except (OSError, ValueError) as exc:
+            self._fail_batch(
+                batch, f"model {model_key!r} could not be loaded: {exc}",
+                results, now, batch_id,
+            )
+            return
+        self.registry.counter(
+            "serve_cache_hits_total", "Model-cache hits."
+        ).inc(1.0 if hit else 0.0)
+        self.registry.counter(
+            "serve_cache_misses_total", "Model-cache misses (cold loads)."
+        ).inc(0.0 if hit else 1.0)
+        # The cache owns the authoritative eviction count; mirror the
+        # delta since the last dispatch into the counter.
+        evictions = self.registry.counter(
+            "serve_cache_evictions_total", "Models evicted from the cache."
+        )
+        evictions.inc(self.cache.evictions - evictions.value())
+
+        num_words = int(model.phi.shape[1])
+        live: list[InferenceRequest] = []
+        for request in batch:
+            deadline = self._deadline_of(request)
+            # Validate word ids against this model's φ before batching,
+            # so one bad request can't fail its batch-mates.
+            bad = max((max(d) for d in request.docs if d), default=-1)
+            if bad >= num_words:
+                self._mark("failed")
+                results[request.request_id] = RequestResult(
+                    request=request, status="failed",
+                    dispatch_time=now, batch_id=batch_id,
+                    error=(
+                        f"word id {bad} does not fit the model's "
+                        f"{num_words} phi columns"
+                    ),
+                )
+                continue
+            if deadline is not None and now - request.arrival_time > deadline:
+                exc = DeadlineExceeded(
+                    request.request_id, deadline, now - request.arrival_time
+                )
+                self._mark("deadline_exceeded")
+                results[request.request_id] = RequestResult(
+                    request=request, status="deadline_exceeded",
+                    dispatch_time=now, batch_id=batch_id, error=str(exc),
+                )
+                continue
+            live.append(request)
+        if not live:
+            self._queue_gauges(now)
+            return
+
+        try:
+            outcome = self.scheduler.dispatch(
+                live, digest, model.phi, model.hyper,
+                self.config.iterations, self.kernel_config,
+                now, batch_id,
+            )
+        except ServeError as exc:
+            self._fail_batch(live, str(exc), results, now, batch_id)
+            return
+
+        execution = outcome.execution
+        # These requests occupy the system until the batch's simulated
+        # completion; admission counts them against max_queue.
+        for _ in live:
+            heapq.heappush(self._in_flight, execution.end)
+        self._queue_gauges(now)
+        if outcome.failovers:
+            self.registry.counter(
+                "serve_failovers_total",
+                "Batches re-dispatched after a replica fault.",
+            ).inc(outcome.failovers)
+        if outcome.phi_uploaded:
+            self.registry.counter(
+                "serve_phi_uploads_total",
+                "phi broadcasts to a replica.", ("replica",),
+            ).inc(replica=execution.replica_id)
+        self.registry.counter(
+            "serve_batches_total", "Batches executed per replica.",
+            ("replica",),
+        ).inc(replica=execution.replica_id)
+        self.registry.histogram(
+            "serve_batch_size", "Requests per dispatched batch.",
+        ).observe(len(live))
+        self.registry.counter(
+            "serve_tokens_served_total", "Tokens folded in (completed only).",
+        )
+
+        for request, inference in zip(live, execution.results):
+            latency = execution.end - request.arrival_time
+            self.registry.histogram(
+                "serve_latency_seconds",
+                "Request latency (arrival to batch completion).",
+                buckets=LATENCY_BUCKETS,
+            ).observe(latency)
+            self.registry.histogram(
+                "serve_queue_wait_seconds",
+                "Arrival-to-dispatch wait.",
+            ).observe(now - request.arrival_time)
+            deadline = self._deadline_of(request)
+            if deadline is not None and latency > deadline:
+                exc = DeadlineExceeded(request.request_id, deadline, latency)
+                self._mark("deadline_exceeded")
+                results[request.request_id] = RequestResult(
+                    request=request, status="deadline_exceeded",
+                    dispatch_time=now, completion_time=execution.end,
+                    replica=execution.replica_id, batch_id=batch_id,
+                    error=str(exc), failovers=outcome.failovers,
+                )
+                continue
+            self._mark("completed")
+            self.registry.counter("serve_tokens_served_total").inc(
+                request.num_tokens
+            )
+            results[request.request_id] = RequestResult(
+                request=request, status="completed",
+                doc_topic=inference.doc_topic,
+                log_likelihood_per_token=inference.log_likelihood_per_token,
+                dispatch_time=now, completion_time=execution.end,
+                replica=execution.replica_id, batch_id=batch_id,
+                failovers=outcome.failovers,
+            )

@@ -78,3 +78,24 @@ def volta2():
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def serve_checkpoints(tmp_path_factory) -> list[str]:
+    """Two trained model checkpoints (distinct φ) for serving tests."""
+    from repro.core import CuLDA, TrainConfig, save_model
+
+    spec = SyntheticSpec(num_docs=50, num_words=120, avg_doc_length=30,
+                         num_topics=4, name="servetrain")
+    corpus = generate_lda_corpus(spec, seed=5)
+    root = tmp_path_factory.mktemp("serve-models")
+    paths = []
+    for i, seed in enumerate((0, 1)):
+        result = CuLDA(
+            corpus, pascal_platform(1),
+            TrainConfig(num_topics=8, iterations=6, seed=seed),
+        ).train()
+        path = root / f"model{i}.npz"
+        save_model(result, path)
+        paths.append(str(path))
+    return paths

@@ -329,3 +329,91 @@ class TestCheckpointResumeCli:
         ])
         assert rc == 0
         assert capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_loadgen_smoke(self, capsys, serve_checkpoints):
+        rc = main(["loadgen", "--model", serve_checkpoints[0], "--smoke"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "requests:" in out
+        assert "latency (simulated):" in out
+        assert "serve_requests_total{status=completed}" in out
+
+    def test_loadgen_multi_model_with_metrics(self, capsys, tmp_path,
+                                              serve_checkpoints):
+        prom = tmp_path / "serve.prom"
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--model", serve_checkpoints[1],
+            "--rate", "2000", "--duration", "0.01", "--gpus", "2",
+            "--cache-capacity", "1", "--metrics", str(prom),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "model cache:" in out
+        text = prom.read_text()
+        assert "serve_latency_seconds" in text
+        assert "serve_cache_evictions_total" in text
+
+    def test_loadgen_trace_roundtrips_through_serve(self, capsys, tmp_path,
+                                                    serve_checkpoints):
+        trace = tmp_path / "trace.jsonl"
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--rate", "1500", "--duration", "0.01",
+            "--save-trace", str(trace),
+        ])
+        assert rc == 0
+        gen = capsys.readouterr().out
+        rc = main([
+            "serve", "--model", serve_checkpoints[0],
+            "--trace", str(trace),
+        ])
+        replay = capsys.readouterr().out
+        assert rc == 0
+        # Same machine + same trace => the identical summary line.
+        line = next(ln for ln in gen.splitlines() if ln.startswith("requests:"))
+        assert line in replay
+
+    def test_loadgen_with_fault_plan(self, capsys, tmp_path,
+                                     serve_checkpoints):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"kind": "kernel_fault", "iteration": 0, '
+            '"device": 0, "op": "serve"}]}'
+        )
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--rate", "1500", "--duration", "0.01", "--gpus", "2",
+            "--faults", str(plan),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault events" in out
+        assert "failovers:" in out
+
+    def test_serve_missing_trace_is_an_error(self, capsys,
+                                             serve_checkpoints):
+        rc = main([
+            "serve", "--model", serve_checkpoints[0],
+            "--trace", "/nonexistent/trace.jsonl",
+        ])
+        assert rc == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_loadgen_missing_model_is_an_error(self, capsys):
+        rc = main(["loadgen", "--model", "/nonexistent/model.npz"])
+        assert rc == 2
+        assert "could not load model" in capsys.readouterr().err
+
+    def test_loadgen_bad_fault_plan_is_an_error(self, capsys, tmp_path,
+                                                serve_checkpoints):
+        plan = tmp_path / "plan.json"
+        plan.write_text("{not json")
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--faults", str(plan),
+        ])
+        assert rc == 2
+        assert "invalid fault plan" in capsys.readouterr().err

@@ -86,6 +86,25 @@ class TestInferDocuments:
         with pytest.raises(ValueError, match="vocabulary"):
             infer_documents(big, result.phi, result.hyper)
 
+    def test_out_of_range_word_ids_rejected(self, trained):
+        """A corpus whose *declared* vocabulary fits φ but whose actual
+        ids spill past φ's columns gets a clear ValueError, not an
+        IndexError from inside the sampling kernel."""
+        result, *_ = trained
+        V = result.phi.shape[1]
+        wide = Corpus(
+            np.array([0, V + 2], dtype=np.int32),
+            np.array([0, 2], dtype=np.int64),
+            V + 8,
+        )
+        with pytest.raises(ValueError, match="vocabulary|word id"):
+            infer_documents(wide, result.phi, result.hyper)
+
+    def test_one_dimensional_phi_rejected(self, trained):
+        result, _, held = trained
+        with pytest.raises(ValueError, match="2-D"):
+            infer_documents(held, result.phi.ravel(), result.hyper)
+
     def test_narrower_corpus_accepted(self, trained):
         """A held-out corpus that only uses a prefix of the vocabulary
         still works (φ is wider)."""
@@ -102,6 +121,32 @@ class TestHeldOutLikelihood:
         with pytest.raises(ValueError):
             held_out_log_likelihood(
                 empty, np.ones((1, 10)) / 10, result.phi,
+                result.phi.sum(axis=1), result.hyper,
+            )
+
+    def test_out_of_range_word_ids_rejected(self, trained):
+        """Regression: this used to raise a bare IndexError from the
+        einsum gather (or return silently wrong wrapped-index scores)."""
+        result, *_ = trained
+        V = result.phi.shape[1]
+        wide = Corpus(
+            np.array([0, V + 2], dtype=np.int32),
+            np.array([0, 2], dtype=np.int64),
+            V + 8,
+        )
+        uniform = np.full((1, 10), 0.1)
+        with pytest.raises(ValueError, match="word id"):
+            held_out_log_likelihood(
+                wide, uniform, result.phi, result.phi.sum(axis=1),
+                result.hyper,
+            )
+
+    def test_one_dimensional_phi_rejected(self, trained):
+        result, *_ = trained
+        doc = Corpus.from_documents([[0, 1]], num_words=2)
+        with pytest.raises(ValueError, match="2-D"):
+            held_out_log_likelihood(
+                doc, np.full((1, 10), 0.1), result.phi.ravel(),
                 result.phi.sum(axis=1), result.hyper,
             )
 

@@ -1,0 +1,121 @@
+"""Bit-identity: serving == direct ``infer_documents``.
+
+The serving path's core promise is that batching, replica placement,
+and failover move only *simulated time*, never bits: each request's
+payload is a pure function of ``(docs, φ, seed, iterations)``. These
+tests pin that across batch compositions, replica counts, and fault
+plans, against real format-v3 checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inference import infer_documents
+from repro.core.serialization import load_model
+from repro.corpus.corpus import Corpus
+from repro.faults import FaultPlan
+from repro.gpusim.platform import make_machine
+from repro.serve import InferenceService, ServiceConfig, poisson_trace
+
+ITERATIONS = 4
+
+
+@pytest.fixture(scope="module")
+def ckpt(serve_checkpoints):
+    return load_model(serve_checkpoints[0])
+
+
+@pytest.fixture(scope="module")
+def trace(serve_checkpoints, ckpt):
+    return poisson_trace(
+        [serve_checkpoints[0]], int(ckpt.phi.shape[1]),
+        rate=3000, duration=0.008, seed=21,
+    )
+
+
+def direct(request, ckpt):
+    """What a standalone fold-in call returns for *request*."""
+    corpus = Corpus.from_documents(
+        request.docs, num_words=int(ckpt.phi.shape[1])
+    )
+    return infer_documents(
+        corpus, ckpt.phi, ckpt.hyper, iterations=ITERATIONS,
+        seed=request.seed,
+    )
+
+
+def serve(trace, gpus, fault_plan=None, max_batch_size=4):
+    service = InferenceService(
+        make_machine("pascal", gpus),
+        ServiceConfig(max_batch_size=max_batch_size,
+                      max_wait_seconds=1e-3, max_queue=4096,
+                      iterations=ITERATIONS),
+        fault_plan=fault_plan,
+    )
+    return service.run_trace(trace)
+
+
+def assert_identical_payloads(report, trace, ckpt):
+    assert report.count("completed") == len(trace)
+    by_id = {r.request.request_id: r for r in report.results}
+    for request in trace:
+        want = direct(request, ckpt)
+        got = by_id[request.request_id]
+        assert np.array_equal(got.doc_topic, want.doc_topic)
+        assert got.log_likelihood_per_token == want.log_likelihood_per_token
+
+
+class TestServeEqualsDirect:
+    def test_batch_size_one(self, trace, ckpt):
+        """No batching at all: every request is its own kernel."""
+        report = serve(trace, gpus=1, max_batch_size=1)
+        assert_identical_payloads(report, trace, ckpt)
+
+    def test_mixed_batches(self, trace, ckpt):
+        """Wait-bound and size-bound batches mixed — composition must
+        not leak into payloads."""
+        report = serve(trace, gpus=1, max_batch_size=4)
+        sizes = {
+            r.batch_id: len([x for x in report.results
+                             if x.batch_id == r.batch_id])
+            for r in report.results
+        }
+        assert len(set(sizes.values())) > 1, "trace produced uniform batches"
+        assert_identical_payloads(report, trace, ckpt)
+
+    @pytest.mark.parametrize("gpus", [1, 2, 4])
+    def test_replica_count_is_invisible(self, trace, ckpt, gpus):
+        report = serve(trace, gpus=gpus)
+        assert_identical_payloads(report, trace, ckpt)
+
+    def test_batch_policies_agree_with_each_other(self, trace, ckpt):
+        """Any two servings of the same trace agree bit-for-bit,
+        whatever the batching/placement."""
+        a = serve(trace, gpus=1, max_batch_size=1)
+        b = serve(trace, gpus=4, max_batch_size=8)
+        for ra, rb in zip(a.results, b.results):
+            assert np.array_equal(ra.doc_topic, rb.doc_topic)
+
+    def test_failover_preserves_bits(self, trace, ckpt):
+        """A batch that faults and re-runs on another replica returns
+        exactly the bytes the healthy run returns — only later."""
+        plan = FaultPlan.from_dict({"faults": [
+            {"kind": "kernel_fault", "iteration": 0, "device": 0,
+             "op": "serve"},
+            {"kind": "kernel_fault", "iteration": 2, "device": 1,
+             "op": "serve"},
+        ]})
+        faulted = serve(trace, gpus=2, fault_plan=plan)
+        assert faulted.failovers > 0
+        assert_identical_payloads(faulted, trace, ckpt)
+
+    def test_timings_differ_even_when_bits_do_not(self, trace, ckpt):
+        """Sanity: the simulated clock *does* see the batching policy
+        (otherwise the equivalence above would be vacuous)."""
+        solo = serve(trace, gpus=1, max_batch_size=1)
+        batched = serve(trace, gpus=1, max_batch_size=8)
+        solo_t = [r.completion_time for r in solo.results]
+        batched_t = [r.completion_time for r in batched.results]
+        assert solo_t != batched_t

@@ -1,0 +1,222 @@
+"""Load tests for the online serving subsystem.
+
+Seeded open-loop traces below and above the simulated machine's
+capacity, checking the service's conservation invariants, latency
+sanity, bounded-queue backpressure, deadline handling, and fault
+behavior. Everything runs on the simulated clock, so these are fast
+and exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_model
+from repro.faults import FaultPlan
+from repro.gpusim.platform import make_machine
+from repro.serve import (
+    InferenceRequest,
+    InferenceService,
+    ServiceConfig,
+    poisson_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def model_info(serve_checkpoints):
+    ckpt = load_model(serve_checkpoints[0])
+    return serve_checkpoints[0], int(ckpt.phi.shape[1])
+
+
+def run(trace, config, gpus=2, platform="pascal", fault_plan=None):
+    service = InferenceService(
+        make_machine(platform, gpus), config, fault_plan=fault_plan
+    )
+    return service.run_trace(trace)
+
+
+def assert_conservation(report):
+    assert report.submitted == (
+        report.count("completed")
+        + report.count("rejected")
+        + report.count("deadline_exceeded")
+        + report.count("failed")
+    )
+    assert report.admitted == report.submitted - report.count("rejected")
+
+
+class TestSubCapacity:
+    """A trace the machine can absorb: everything completes, fast."""
+
+    RATE, DURATION = 1500.0, 0.03
+
+    @pytest.fixture(scope="class")
+    def report(self, model_info):
+        path, num_words = model_info
+        trace = poisson_trace([path], num_words, rate=self.RATE,
+                              duration=self.DURATION, seed=11)
+        return run(trace, ServiceConfig(max_batch_size=4,
+                                        max_wait_seconds=1e-3,
+                                        max_queue=256, iterations=3))
+
+    def test_all_complete(self, report):
+        assert_conservation(report)
+        assert report.count("completed") == report.submitted
+        assert report.count("rejected") == 0
+
+    def test_p99_under_slo(self, report):
+        # Generous SLO: batching wait bound + a few batch service times.
+        assert report.latency_quantile(0.99) < 5e-3
+        assert report.latency_quantile(0.5) <= report.latency_quantile(0.99)
+
+    def test_simulated_clock_monotone(self, report):
+        """arrival ≤ dispatch ≤ completion for every served request."""
+        for r in report.results:
+            assert r.dispatch_time >= r.request.arrival_time
+            assert r.completion_time >= r.dispatch_time
+            assert r.latency > 0
+            assert r.queue_wait >= 0
+
+    def test_results_in_trace_order(self, report):
+        ids = [r.request.request_id for r in report.results]
+        assert ids == sorted(ids)
+
+    def test_every_request_has_payload(self, report):
+        for r in report.results:
+            assert r.doc_topic is not None
+            assert r.doc_topic.shape == (len(r.request.docs), 8)
+            assert np.allclose(r.doc_topic.sum(axis=1), 1.0)
+
+
+class TestOverload:
+    """Arrivals far beyond capacity: shed load, never grow the queue."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, model_info):
+        path, num_words = model_info
+        config = ServiceConfig(max_batch_size=2, max_wait_seconds=5e-4,
+                               max_queue=4, iterations=50)
+        trace = poisson_trace([path], num_words, rate=50_000,
+                              duration=0.004, seed=7, mean_doc_len=120)
+        return run(trace, config, gpus=1), config
+
+    def test_conservation_under_overload(self, setup):
+        report, _ = setup
+        assert_conservation(report)
+
+    def test_rejections_nonzero(self, setup):
+        report, _ = setup
+        assert report.count("rejected") > 0
+        assert 0 < report.rejection_rate < 1
+
+    def test_queue_stays_bounded(self, setup):
+        report, config = setup
+        high_water = report.registry.gauge(
+            "serve_queue_depth_high_water"
+        ).value()
+        assert 0 < high_water <= config.max_queue
+
+    def test_admitted_requests_still_complete(self, setup):
+        report, _ = setup
+        assert report.count("completed") > 0
+        assert report.count("failed") == 0
+
+    def test_rejection_metric_matches_results(self, setup):
+        report, _ = setup
+        counted = report.registry.get(
+            "serve_rejections_total"
+        ).value(reason="queue_full")
+        assert counted == report.count("rejected")
+
+
+class TestDeadlines:
+    def test_tight_deadline_sheds_requests(self, model_info):
+        path, num_words = model_info
+        trace = poisson_trace([path], num_words, rate=20_000,
+                              duration=0.005, seed=3, mean_doc_len=80)
+        report = run(trace, ServiceConfig(max_batch_size=4,
+                                          max_wait_seconds=1e-3,
+                                          max_queue=512, iterations=40,
+                                          deadline_seconds=1e-3), gpus=1)
+        assert_conservation(report)
+        assert report.count("deadline_exceeded") > 0
+        # Every completed request met its deadline.
+        for r in report.results:
+            if r.status == "completed":
+                assert r.latency <= 1e-3
+
+    def test_per_request_deadline_overrides_default(self, model_info):
+        path, num_words = model_info
+        relaxed = InferenceRequest(0, ((0, 1, 2),), 0.0, path, seed=1,
+                                   deadline_seconds=10.0)
+        report = run([relaxed], ServiceConfig(deadline_seconds=1e-12))
+        assert report.results[0].status == "completed"
+
+
+class TestFailures:
+    def test_unloadable_model_fails_request_not_service(self, model_info):
+        path, num_words = model_info
+        good = InferenceRequest(0, ((0, 1),), 0.0, path, seed=1)
+        bad = InferenceRequest(1, ((0, 1),), 0.0, "/nonexistent/model.npz",
+                               seed=1)
+        report = run([good, bad], ServiceConfig(max_batch_size=1))
+        assert report.results[0].status == "completed"
+        assert report.results[1].status == "failed"
+        assert "could not be loaded" in report.results[1].error
+
+    def test_kernel_fault_fails_over(self, model_info):
+        path, num_words = model_info
+        plan = FaultPlan.from_dict({"faults": [
+            {"kind": "kernel_fault", "iteration": 0, "device": 0,
+             "op": "serve"},
+        ]})
+        trace = poisson_trace([path], num_words, rate=2000, duration=0.01,
+                              seed=9)
+        report = run(trace, ServiceConfig(max_batch_size=4, iterations=3),
+                     gpus=2, fault_plan=plan)
+        assert_conservation(report)
+        assert report.count("completed") == report.submitted
+        assert report.failovers > 0
+        assert report.fault_events
+
+    def test_dead_replica_is_avoided(self, model_info):
+        """device_failure before dispatch: the scheduler routes around
+        the dead GPU without needing the failover path."""
+        path, num_words = model_info
+        plan = FaultPlan.from_dict({"faults": [
+            {"kind": "device_failure", "iteration": 1, "device": 0},
+        ]})
+        trace = poisson_trace([path], num_words, rate=2000, duration=0.01,
+                              seed=9)
+        report = run(trace, ServiceConfig(max_batch_size=4, iterations=3),
+                     gpus=2, fault_plan=plan)
+        assert report.count("completed") == report.submitted
+        # Every batch after the failure ran on the surviving replica.
+        late = [r.replica for r in report.results
+                if r.batch_id is not None and r.batch_id >= 1]
+        assert late and set(late) == {1}
+
+    def test_all_replicas_dead_fails_cleanly(self, model_info):
+        path, num_words = model_info
+        plan = FaultPlan.from_dict({"faults": [
+            {"kind": "device_failure", "iteration": 0, "device": 0},
+        ]})
+        request = InferenceRequest(0, ((0, 1, 2),), 0.0, path, seed=1)
+        report = run([request], ServiceConfig(), gpus=1, fault_plan=plan)
+        assert report.results[0].status == "failed"
+        assert "no alive replica" in report.results[0].error
+
+
+class TestThroughputScaling:
+    def test_two_replicas_finish_sooner(self, model_info):
+        """The same saturating trace drains faster on more GPUs."""
+        path, num_words = model_info
+        trace = poisson_trace([path], num_words, rate=50_000,
+                              duration=0.003, seed=13, mean_doc_len=120)
+        config = ServiceConfig(max_batch_size=4, max_wait_seconds=5e-4,
+                               max_queue=4096, iterations=50)
+        one = run(trace, config, gpus=1)
+        four = run(trace, config, gpus=4)
+        assert one.count("completed") == four.count("completed") == len(trace)
+        assert four.makespan < one.makespan
