@@ -198,6 +198,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deadline", type=_positive_float, default=None,
                        metavar="SECONDS",
                        help="default per-request deadline (simulated)")
+        p.add_argument("--warm-spares", type=_nonneg_int, default=0,
+                       help="GPUs held in reserve as respawn targets "
+                       "for dead replicas")
+        p.add_argument("--hedge-quantile", type=_positive_float,
+                       default=None, metavar="Q",
+                       help="enable hedged requests: duplicate batches "
+                       "slower than this service-time quantile")
         p.add_argument("--faults", metavar="PLAN.json",
                        help="fault plan; 'iteration' fields fire per "
                        "batch sequence number")
@@ -236,6 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--smoke", action="store_true",
                     help="CI preset: small fixed trace, fails if any "
                     "request is lost")
+    lg.add_argument("--chaos", action="store_true",
+                    help="run under a serving chaos plan (default plan "
+                    "unless --faults is given) and check the serving "
+                    "invariants instead of all-completed")
+    lg.add_argument("--low-priority-fraction", type=float, default=0.0,
+                    metavar="F",
+                    help="share of requests tagged priority 0 "
+                    "(sheddable under degraded mode)")
     lg.add_argument("--save-trace", metavar="FILE.jsonl",
                     help="also write the generated trace (replayable "
                     "with 'serve --trace')")
@@ -516,15 +531,30 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
-def _service_from_args(args: argparse.Namespace):
-    """Build an (InferenceService, registry) pair, or None on bad input."""
+def _service_from_args(args: argparse.Namespace, fault_plan=None):
+    """Build an (InferenceService, registry) pair, or None on bad input.
+
+    *fault_plan* (e.g. the chaos default) wins over ``--faults``.
+    """
     from repro.gpusim.platform import make_machine
-    from repro.serve import InferenceService, ServiceConfig
+    from repro.serve import HedgePolicy, InferenceService, ServiceConfig
     from repro.telemetry import MetricsRegistry
 
-    fault_plan = _load_fault_plan(args.faults)
-    if fault_plan is _BAD_PLAN:
+    if fault_plan is None:
+        fault_plan = _load_fault_plan(args.faults)
+        if fault_plan is _BAD_PLAN:
+            return None
+    if args.warm_spares >= args.gpus:
+        print("error: --warm-spares must leave at least one active "
+              "replica", file=sys.stderr)
         return None
+    hedge = None
+    if args.hedge_quantile is not None:
+        if not 0.0 < args.hedge_quantile < 1.0:
+            print("error: --hedge-quantile must be in (0, 1)",
+                  file=sys.stderr)
+            return None
+        hedge = HedgePolicy(quantile=args.hedge_quantile)
     registry = MetricsRegistry()
     service = InferenceService(
         make_machine(args.platform, args.gpus),
@@ -535,6 +565,8 @@ def _service_from_args(args: argparse.Namespace):
             cache_capacity=args.cache_capacity,
             iterations=args.iterations,
             deadline_seconds=args.deadline,
+            warm_spares=args.warm_spares,
+            hedge=hedge,
         ),
         registry=registry,
         fault_plan=fault_plan,
@@ -604,7 +636,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: could not load model: {exc}", file=sys.stderr)
         return 2
-    pair = _service_from_args(args)
+    chaos_plan = None
+    if args.chaos and not args.faults:
+        from repro.serve import default_chaos_plan
+
+        if args.gpus < 2:
+            print("error: --chaos needs at least --gpus 2",
+                  file=sys.stderr)
+            return 2
+        chaos_plan = default_chaos_plan(args.gpus)
+    if not 0.0 <= args.low_priority_fraction <= 1.0:
+        print("error: --low-priority-fraction must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+    pair = _service_from_args(args, fault_plan=chaos_plan)
     if pair is None:
         return 2
     service, registry = pair
@@ -614,6 +659,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         mean_doc_len=args.mean_doc_len,
         max_docs_per_request=args.max_docs,
         deadline_seconds=args.deadline,
+        low_priority_fraction=args.low_priority_fraction,
     )
     if not requests:
         print("error: trace is empty; raise --rate or --duration",
@@ -628,6 +674,23 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     report = service.run_trace(requests)
     _print_serve_report(report, registry, service.machine.name, args.top)
     _write_service_metrics(registry, args.metrics)
+    if args.chaos:
+        from repro.serve import verify_report
+
+        violations = verify_report(
+            report, requests,
+            default_iterations=args.iterations,
+            payload_sample=64,
+        )
+        if violations:
+            print("chaos invariant violations:", file=sys.stderr)
+            for violation in violations:
+                print(f"  - {violation}", file=sys.stderr)
+            return 1
+        print(f"chaos invariants hold: {len(requests)} requests "
+              f"accounted for exactly once ({report.failovers} "
+              f"failover(s), {report.respawns} respawn(s))")
+        return 0
     if args.smoke and report.count("completed") != len(requests):
         print("error: smoke run lost requests (expected every request "
               "to complete)", file=sys.stderr)

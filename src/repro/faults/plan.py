@@ -50,6 +50,12 @@ FAULT_KINDS = (
     "checkpoint_truncation",
 )
 
+#: Every field a fault entry may carry (validated in from_dict).
+_FIELDS = frozenset(
+    ("kind", "iteration", "device", "link", "count", "until", "scale",
+     "op", "at_save")
+)
+
 #: Which optional fields each kind requires (beyond kind itself).
 _REQUIRED = {
     "device_failure": ("iteration", "device"),
@@ -133,18 +139,53 @@ class FaultPlan:
     # -- serialization -------------------------------------------------
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
+        """Parse a plan dict, naming the offending entry and field.
+
+        Every rejection says *which* fault entry (``fault #i``) and
+        *which* field is wrong — a chaos plan that silently drops or
+        misreads an entry tests nothing.
+        """
         if not isinstance(data, dict) or "faults" not in data:
             raise ValueError('fault plan must be an object {"faults": [...]}')
+        faults = data["faults"]
+        if not isinstance(faults, list):
+            raise ValueError(
+                f"'faults' must be a list, got {type(faults).__name__}"
+            )
         specs = []
-        for i, entry in enumerate(data["faults"]):
+        for i, entry in enumerate(faults):
             if not isinstance(entry, dict):
-                raise ValueError(f"fault #{i} must be an object")
+                raise ValueError(
+                    f"fault #{i} must be an object, "
+                    f"got {type(entry).__name__}"
+                )
+            if "kind" not in entry:
+                raise ValueError(f"fault #{i} is missing the 'kind' field")
+            kind = entry["kind"]
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"fault #{i}: unknown fault kind {kind!r}; "
+                    f"choose from {FAULT_KINDS}"
+                )
+            unknown = sorted(set(entry) - _FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"fault #{i} ({kind}): unknown field(s) "
+                    f"{', '.join(repr(u) for u in unknown)}; "
+                    f"allowed fields are {tuple(sorted(_FIELDS))}"
+                )
+            missing = [
+                name for name in _REQUIRED[kind] if entry.get(name) is None
+            ]
+            if missing:
+                raise ValueError(
+                    f"fault #{i} ({kind}): missing required field(s) "
+                    f"{', '.join(repr(m) for m in missing)}"
+                )
             try:
                 specs.append(FaultSpec(**entry))
-            except TypeError as exc:
-                raise ValueError(f"fault #{i}: {exc}") from exc
             except ValueError as exc:
-                raise ValueError(f"fault #{i}: {exc}") from exc
+                raise ValueError(f"fault #{i} ({kind}): {exc}") from exc
         return cls(faults=tuple(specs))
 
     def to_dict(self) -> dict:

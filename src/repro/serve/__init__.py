@@ -3,13 +3,17 @@
 The training side of this repo reproduces CuLDA_CGS; this package is
 the *serving* side the ROADMAP's north star asks for: fold-in inference
 as an online service with micro-batching, per-GPU φ replicas, an LRU
-model cache, bounded-queue admission control, and dead-replica
-failover. See ``docs/SERVING.md`` for the architecture and SLO
-semantics, and ``repro-lda serve`` / ``repro-lda loadgen`` for the CLI.
+model cache, bounded-queue admission control, and — since PR 5 —
+replica health with circuit breakers, warm-spare respawn, hedged
+requests, rolling model hot-swap with canary/rollback, graceful
+degradation, and a serving chaos harness. See ``docs/SERVING.md`` for
+the architecture and SLO semantics, and ``repro-lda serve`` /
+``repro-lda loadgen`` for the CLI.
 """
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import ModelCache, checkpoint_digest
+from repro.serve.chaos import default_chaos_plan, verify_report
 from repro.serve.loadgen import poisson_trace, read_trace_jsonl, write_trace_jsonl
 from repro.serve.replica import PhiReplica, foldin_batch_cost
 from repro.serve.request import (
@@ -19,6 +23,17 @@ from repro.serve.request import (
     RequestResult,
     ServeError,
 )
+from repro.serve.resilience import (
+    HEALTH_STATES,
+    ROLLOUT_STATES,
+    BreakerPolicy,
+    DegradationPolicy,
+    HealthMonitor,
+    HedgePolicy,
+    LatencyTracker,
+    RolloutConfig,
+    RolloutManager,
+)
 from repro.serve.scheduler import ReplicaScheduler
 from repro.serve.service import InferenceService, ServiceConfig, ServiceReport
 
@@ -27,6 +42,8 @@ __all__ = [
     "MicroBatcher",
     "ModelCache",
     "checkpoint_digest",
+    "default_chaos_plan",
+    "verify_report",
     "poisson_trace",
     "read_trace_jsonl",
     "write_trace_jsonl",
@@ -37,6 +54,15 @@ __all__ = [
     "ServeError",
     "RequestRejected",
     "DeadlineExceeded",
+    "HEALTH_STATES",
+    "ROLLOUT_STATES",
+    "BreakerPolicy",
+    "DegradationPolicy",
+    "HealthMonitor",
+    "HedgePolicy",
+    "LatencyTracker",
+    "RolloutConfig",
+    "RolloutManager",
     "ReplicaScheduler",
     "InferenceService",
     "ServiceConfig",

@@ -67,6 +67,17 @@ class MicroBatcher:
         #: model key → FIFO of pending requests. Ordered so ties on the
         #: due time resolve deterministically (insertion order).
         self._pending: "OrderedDict[str, deque[InferenceRequest]]" = OrderedDict()
+        #: Degraded-mode override: when set, the effective wait bound is
+        #: ``min(policy.max_wait_seconds, wait_cap)`` so queued work
+        #: flushes promptly under overload (see
+        #: :class:`~repro.serve.resilience.DegradationPolicy`).
+        self.wait_cap: float | None = None
+
+    @property
+    def effective_wait(self) -> float:
+        if self.wait_cap is None:
+            return self.policy.max_wait_seconds
+        return min(self.policy.max_wait_seconds, self.wait_cap)
 
     # ------------------------------------------------------------------
     def enqueue(self, request: InferenceRequest) -> None:
@@ -93,7 +104,7 @@ class MicroBatcher:
         q = self._pending.get(model_key)
         if not q:
             raise KeyError(f"no pending requests for model {model_key!r}")
-        return q[0].arrival_time + self.policy.max_wait_seconds
+        return q[0].arrival_time + self.effective_wait
 
     def next_due(self) -> tuple[str, float] | None:
         """The (model, time) of the earliest wait-bound flush, or None.
@@ -102,10 +113,11 @@ class MicroBatcher:
         replays deterministic.
         """
         best: tuple[str, float] | None = None
+        wait = self.effective_wait
         for model, q in self._pending.items():
             if not q:
                 continue
-            due = q[0].arrival_time + self.policy.max_wait_seconds
+            due = q[0].arrival_time + wait
             if best is None or due < best[1]:
                 best = (model, due)
         return best

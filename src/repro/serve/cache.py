@@ -25,6 +25,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.serialization import ModelCheckpoint, load_model
+from repro.telemetry.context import emit_counter, emit_gauge
 
 __all__ = ["checkpoint_digest", "ModelCache"]
 
@@ -101,6 +102,14 @@ class ModelCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            emit_counter(
+                "serve_cache_evictions_total", 1,
+                help="Models evicted from the LRU cache.",
+            )
+        emit_gauge(
+            "serve_cache_resident_models", len(self._entries),
+            help="Models currently resident in the cache.",
+        )
         return model, digest, False
 
     # ------------------------------------------------------------------

@@ -1,0 +1,251 @@
+"""Serving chaos harness: fault plans for the serving path plus an
+invariant checker over the resulting :class:`~repro.serve.service.ServiceReport`.
+
+Chaos for the *serving* path asserts a different contract than chaos
+for training (PR 3): training must converge to the same model despite
+faults; serving must keep its **request-level** promises despite
+faults. The checker in :func:`verify_report` encodes those promises:
+
+1. **Exactly-once accounting** — every submitted request has exactly
+   one terminal result, no request is lost, and the telemetry counters
+   agree with the per-request results (a double-completed request
+   would show up as a counter/result mismatch).
+2. **Conservation** — ``submitted = admitted + rejected`` and
+   ``admitted = completed + deadline_exceeded + failed``.
+3. **Structured rejection** — every non-completed result carries a
+   machine-readable reason, never a bare drop.
+4. **Monotone simulated clock** — ``arrival ≤ dispatch ≤ completion``
+   for every result that reached each stage.
+5. **Payload purity** — completed payloads are bit-identical to a
+   direct :func:`repro.core.inference.infer_documents` call on the
+   same ``(docs, φ, seed, iterations)``; faults, failover, hedging,
+   and respawn may move *time* but never bits.
+
+:func:`default_chaos_plan` builds the standard serving chaos scenario
+(a replica death, a transient uplink flap, a bounded link outage, and
+a kernel fault), with ``iteration`` fields interpreted as **batch
+sequence numbers** by the service's injector. ``repro-lda loadgen
+--chaos`` wires the two together; see ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.inference import infer_documents
+from repro.core.kernels import KernelConfig
+from repro.core.serialization import load_model
+from repro.corpus.corpus import Corpus
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.serve.request import STATUSES, InferenceRequest
+from repro.serve.service import ServiceReport
+
+__all__ = ["default_chaos_plan", "verify_report"]
+
+
+def default_chaos_plan(num_gpus: int) -> FaultPlan:
+    """The standard serving chaos scenario for a *num_gpus* machine.
+
+    Batches are numbered in dispatch order (the injector's
+    ``iteration``):
+
+    - batch 2: the **last** replica's GPU dies permanently
+      (``DeviceLost`` → breaker marks it dead, never routed again);
+    - batch 4: replica 0's PCIe uplink drops the next two transfer
+      attempts (transient ``LinkDown`` → failover / upload retry);
+    - batch 6→9: replica 1's PCIe uplink is out of service (bounded
+      outage, restored by the injector);
+    - batch 8: a kernel fault on replica 0 (detected, transient).
+    """
+    if num_gpus < 2:
+        raise ValueError("the chaos scenario needs at least 2 GPUs")
+    faults = [
+        FaultSpec(kind="device_failure", iteration=2, device=num_gpus - 1),
+        FaultSpec(kind="link_flaky", iteration=4, link="pcie[0]", count=2),
+        FaultSpec(kind="link_down", iteration=6, link="pcie[1]", until=9),
+        FaultSpec(kind="kernel_fault", iteration=8, device=0, op="serve"),
+    ]
+    return FaultPlan(faults=tuple(faults))
+
+
+# ----------------------------------------------------------------------
+# Invariant checker
+# ----------------------------------------------------------------------
+def _check_exactly_once(
+    report: ServiceReport, requests: list[InferenceRequest]
+) -> list[str]:
+    violations: list[str] = []
+    submitted_ids = [r.request_id for r in requests]
+    result_ids = [r.request.request_id for r in report.results]
+    if len(result_ids) != len(set(result_ids)):
+        dupes = sorted(
+            {i for i in result_ids if result_ids.count(i) > 1}
+        )
+        violations.append(f"requests completed more than once: {dupes}")
+    lost = sorted(set(submitted_ids) - set(result_ids))
+    if lost:
+        violations.append(f"requests lost (no terminal result): {lost}")
+    extra = sorted(set(result_ids) - set(submitted_ids))
+    if extra:
+        violations.append(f"results for requests never submitted: {extra}")
+    # The counters must agree with the per-request results — a request
+    # recorded twice in telemetry but once in results (or vice versa)
+    # is a double-completion in disguise.
+    counter = report.registry.get("serve_requests_total")
+    if counter is not None:
+        for status in STATUSES:
+            counted = int(counter.value(status=status))
+            listed = report.count(status)
+            if counted != listed:
+                violations.append(
+                    f"serve_requests_total{{status={status}}} is {counted} "
+                    f"but {listed} result(s) carry that status"
+                )
+    return violations
+
+
+def _check_conservation(report: ServiceReport) -> list[str]:
+    violations: list[str] = []
+    parts = {s: report.count(s) for s in STATUSES}
+    if report.submitted != report.admitted + parts["rejected"]:
+        violations.append(
+            f"submitted ({report.submitted}) != admitted "
+            f"({report.admitted}) + rejected ({parts['rejected']})"
+        )
+    terminal = (
+        parts["completed"] + parts["deadline_exceeded"] + parts["failed"]
+    )
+    if report.admitted != terminal:
+        violations.append(
+            f"admitted ({report.admitted}) != completed + "
+            f"deadline_exceeded + failed ({terminal})"
+        )
+    unknown = [
+        r.request.request_id for r in report.results if r.status not in STATUSES
+    ]
+    if unknown:
+        violations.append(f"results with unknown status: {unknown}")
+    return violations
+
+
+def _check_structured_reasons(report: ServiceReport) -> list[str]:
+    violations: list[str] = []
+    for result in report.results:
+        if result.status != "completed" and not result.error:
+            violations.append(
+                f"request {result.request.request_id} ended "
+                f"{result.status!r} without a structured reason"
+            )
+    return violations
+
+
+def _check_clock(report: ServiceReport) -> list[str]:
+    violations: list[str] = []
+    for result in report.results:
+        rid = result.request.request_id
+        arrival = result.request.arrival_time
+        times = [
+            ("arrival", arrival),
+            ("dispatch", result.dispatch_time),
+            ("completion", result.completion_time),
+        ]
+        for name, value in times:
+            if value is not None and not math.isfinite(value):
+                violations.append(f"request {rid}: {name} time is {value}")
+        if result.dispatch_time is not None and result.dispatch_time < arrival:
+            violations.append(
+                f"request {rid}: dispatched at {result.dispatch_time} "
+                f"before its arrival at {arrival}"
+            )
+        if (
+            result.completion_time is not None
+            and result.dispatch_time is not None
+            and result.completion_time < result.dispatch_time
+        ):
+            violations.append(
+                f"request {rid}: completed at {result.completion_time} "
+                f"before its dispatch at {result.dispatch_time}"
+            )
+    return violations
+
+
+def _check_payloads(
+    report: ServiceReport,
+    default_iterations: int,
+    config: KernelConfig,
+    sample: int | None,
+) -> list[str]:
+    violations: list[str] = []
+    completed = [r for r in report.results if r.status == "completed"]
+    if sample is not None:
+        completed = completed[:sample]
+    models: dict[str, object] = {}
+    for result in completed:
+        req = result.request
+        model = models.get(req.model_key)
+        if model is None:
+            try:
+                model = load_model(req.model_key)
+            except (OSError, ValueError) as exc:
+                violations.append(
+                    f"request {req.request_id}: reference model "
+                    f"{req.model_key!r} could not be loaded ({exc})"
+                )
+                continue
+            models[req.model_key] = model
+        iterations = (
+            req.iterations if req.iterations is not None else default_iterations
+        )
+        reference = infer_documents(
+            Corpus.from_documents(
+                req.docs, num_words=int(model.phi.shape[1]),
+                name=f"req{req.request_id}",
+            ),
+            model.phi, model.hyper,
+            iterations=iterations, seed=req.seed, config=config,
+        )
+        if result.doc_topic is None or not np.array_equal(
+            reference.doc_topic, result.doc_topic
+        ):
+            violations.append(
+                f"request {req.request_id}: served doc_topic differs from "
+                f"a direct infer_documents call (replica {result.replica}, "
+                f"failovers {result.failovers}, hedged {result.hedged})"
+            )
+        elif reference.log_likelihood_per_token != result.log_likelihood_per_token:
+            violations.append(
+                f"request {req.request_id}: served log-likelihood differs "
+                "from a direct infer_documents call"
+            )
+    return violations
+
+
+def verify_report(
+    report: ServiceReport,
+    requests: list[InferenceRequest],
+    default_iterations: int = 5,
+    config: KernelConfig | None = None,
+    payload_sample: int | None = None,
+    check_payloads: bool = True,
+) -> list[str]:
+    """Check a chaos run's report against the serving invariants.
+
+    Returns a list of human-readable violations (empty = all invariants
+    hold). ``payload_sample`` bounds how many completed requests are
+    re-inferred for the bit-identity check (None = all of them);
+    ``default_iterations`` and ``config`` must match the service's
+    fold-in settings for the reference computation to be comparable.
+    """
+    violations = []
+    violations += _check_exactly_once(report, requests)
+    violations += _check_conservation(report)
+    violations += _check_structured_reasons(report)
+    violations += _check_clock(report)
+    if check_payloads:
+        violations += _check_payloads(
+            report, default_iterations,
+            config or KernelConfig(compressed=False), payload_sample,
+        )
+    return violations

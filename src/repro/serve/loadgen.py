@@ -39,6 +39,7 @@ def poisson_trace(
     max_docs_per_request: int = 3,
     iterations: int | None = None,
     deadline_seconds: float | None = None,
+    low_priority_fraction: float = 0.0,
 ) -> list[InferenceRequest]:
     """A deterministic open-loop Poisson arrival trace.
 
@@ -52,6 +53,8 @@ def poisson_trace(
     mean_doc_len: mean tokens per document (geometric lengths, min 1).
     max_docs_per_request: documents per request drawn uniformly from
         ``[1, max_docs_per_request]``.
+    low_priority_fraction: share of requests tagged priority 0
+        (sheddable under degraded mode); the rest are priority 1.
     """
     if not model_keys:
         raise ValueError("at least one model key is required")
@@ -59,6 +62,8 @@ def poisson_trace(
         raise ValueError("rate and duration must be positive")
     if num_words < 1:
         raise ValueError("num_words must be >= 1")
+    if not 0.0 <= low_priority_fraction <= 1.0:
+        raise ValueError("low_priority_fraction must be in [0, 1]")
     rng = np.random.default_rng(seed)
     # Zipf-ish word popularity so batches share hot words (the
     # amortization the micro-batcher exists to exploit).
@@ -78,6 +83,7 @@ def poisson_trace(
             length = 1 + int(rng.geometric(1.0 / max(mean_doc_len, 1)))
             words = rng.choice(num_words, size=length, p=popularity)
             docs.append(tuple(int(w) for w in words))
+        priority = 0 if rng.random() < low_priority_fraction else 1
         requests.append(
             InferenceRequest(
                 request_id=len(requests),
@@ -87,6 +93,7 @@ def poisson_trace(
                 seed=int(rng.integers(0, 2**31 - 1)),
                 iterations=iterations,
                 deadline_seconds=deadline_seconds,
+                priority=priority,
             )
         )
     return requests
@@ -129,4 +136,6 @@ def write_trace_jsonl(requests: list[InferenceRequest], path: str | Path) -> Non
                 record["iterations"] = req.iterations
             if req.deadline_seconds is not None:
                 record["deadline"] = req.deadline_seconds
+            if req.priority != 1:
+                record["priority"] = req.priority
             fh.write(json.dumps(record) + "\n")

@@ -81,10 +81,15 @@ class InferenceRequest:
         resolves it to a format-v3 digest).
     seed: fold-in RNG seed. Results are a pure function of
         ``(docs, model, seed, iterations)`` — independent of batching,
-        replica placement, and failover.
+        replica placement, failover, and hedging.
     iterations: Gibbs sweeps (``None`` → the service default).
     deadline_seconds: max acceptable latency from arrival (``None`` →
         the service default; both ``None`` → no deadline).
+    priority: shedding class for degraded mode (0 = sheddable, higher
+        = more important; default 1). When the service is overloaded
+        past its :class:`~repro.serve.resilience.DegradationPolicy`
+        threshold, arrivals below ``shed_priority_below`` are rejected
+        first (reason ``shed_low_priority``).
     """
 
     request_id: int
@@ -94,6 +99,7 @@ class InferenceRequest:
     seed: int = 0
     iterations: int | None = None
     deadline_seconds: float | None = None
+    priority: int = 1
 
     def __post_init__(self) -> None:
         docs = tuple(tuple(int(w) for w in d) for d in self.docs)
@@ -109,6 +115,8 @@ class InferenceRequest:
             raise ValueError("iterations must be >= 1")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive")
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
 
     @property
     def num_docs(self) -> int:
@@ -124,7 +132,7 @@ class InferenceRequest:
 
         Recognized keys: ``docs`` (required), ``arrival`` (seconds,
         default 0), ``model`` (checkpoint path), ``seed``,
-        ``iterations``, ``deadline`` (seconds).
+        ``iterations``, ``deadline`` (seconds), ``priority``.
         """
         if "docs" not in data:
             raise ValueError(f"trace record {request_id} has no 'docs'")
@@ -140,6 +148,7 @@ class InferenceRequest:
             deadline_seconds=(
                 float(data["deadline"]) if "deadline" in data else None
             ),
+            priority=int(data.get("priority", 1)),
         )
 
 
@@ -150,7 +159,10 @@ class RequestResult:
     ``doc_topic`` is the same row-normalized smoothed mixture a direct
     :func:`repro.core.inference.infer_documents` call returns — the
     serving path is bit-identical to it (tested). Times are on the
-    simulated clock.
+    simulated clock. ``request.model_key`` is the model the request was
+    *actually served from* (an active rollout may have routed it to a
+    different version than the client named); ``hedged`` marks results
+    whose winning execution came from a speculative duplicate.
     """
 
     request: InferenceRequest
@@ -163,6 +175,7 @@ class RequestResult:
     batch_id: int | None = None
     error: str | None = None
     failovers: int = 0
+    hedged: bool = False
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:

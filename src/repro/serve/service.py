@@ -22,7 +22,22 @@ its batch dispatches is dropped without compute, and one whose batch
 completes too late is counted ``deadline_exceeded`` with its payload
 discarded (the client has already given up).
 
-Conservation invariants (load-tested)::
+With a :class:`~repro.serve.resilience.DegradationPolicy` configured
+the service degrades *before* the rejection cliff: past a queue
+occupancy threshold it sheds low-priority arrivals (reason
+``shed_low_priority``) and caps the micro-batcher's wait bound so
+admitted work drains immediately.
+
+Resilience
+----------
+Replica health (circuit breakers, warm-spare respawn), hedged
+requests, and rolling model hot-swap with canary/rollback live in
+:mod:`repro.serve.resilience`; the service wires them into admission
+(rollout routing), dispatch (health-aware candidates, hedging), and
+result recording (rollout canary statistics). See
+``docs/SERVING.md#serving-resilience``.
+
+Conservation invariants (load- and chaos-tested)::
 
     submitted = admitted + rejected
     admitted  = completed + deadline_exceeded + failed
@@ -34,17 +49,25 @@ serve``/``loadgen`` print them with the same machinery as ``profile``:
 ``serve_requests_total{status}``, ``serve_rejections_total{reason}``,
 ``serve_batches_total{replica}``, ``serve_batch_size``,
 ``serve_latency_seconds``, ``serve_queue_wait_seconds``,
-``serve_queue_depth`` (+ high-water), cache hit/miss/eviction counters,
-``serve_failovers_total``, and ``serve_phi_uploads_total{replica}``.
+``serve_queue_depth`` (+ high-water), cache hit/miss/eviction counters
+and the resident-model gauge, ``serve_failovers_total``,
+``serve_phi_uploads_total{replica}`` — plus the resilience families:
+``serve_health_transitions_total{replica,to}``,
+``serve_replicas_healthy``, ``serve_respawns_total{replica}``,
+``serve_hedges_total`` / ``serve_hedge_wins_total``,
+``serve_degraded_mode`` / ``serve_degraded_entries_total``, and
+``serve_rollout_state`` / ``serve_rollout_promotions_total`` /
+``serve_rollout_rollbacks_total``.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.kernels import KernelConfig
+from repro.gpusim.errors import FaultError
 from repro.gpusim.platform import Machine
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import ModelCache
@@ -54,6 +77,15 @@ from repro.serve.request import (
     RequestRejected,
     RequestResult,
     ServeError,
+)
+from repro.serve.resilience import (
+    BreakerPolicy,
+    DegradationPolicy,
+    HealthMonitor,
+    HedgePolicy,
+    LatencyTracker,
+    RolloutConfig,
+    RolloutManager,
 )
 from repro.serve.scheduler import ReplicaScheduler
 from repro.telemetry.context import telemetry_session
@@ -78,6 +110,13 @@ class ServiceConfig:
     cache_capacity: resident models in the LRU cache.
     iterations: default fold-in sweeps for requests that don't choose.
     deadline_seconds: default per-request deadline (None = no default).
+    breaker: circuit-breaker policy for replica health (None disables
+        health tracking — the PR 4 per-request failover behaviour).
+    hedge: hedged-request policy (None disables hedging).
+    degradation: graceful-degradation policy (None = reject-only
+        overload behaviour).
+    warm_spares: GPUs held out of serving as respawn targets; the
+        machine must have at least one more GPU than spares.
     """
 
     max_batch_size: int = 8
@@ -86,6 +125,10 @@ class ServiceConfig:
     cache_capacity: int = 2
     iterations: int = 5
     deadline_seconds: float | None = None
+    breaker: BreakerPolicy | None = BreakerPolicy()
+    hedge: HedgePolicy | None = None
+    degradation: DegradationPolicy | None = None
+    warm_spares: int = 0
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -94,6 +137,8 @@ class ServiceConfig:
             raise ValueError("iterations must be >= 1")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive")
+        if self.warm_spares < 0:
+            raise ValueError("warm_spares must be >= 0")
         # BatchPolicy re-validates its own pair; fail here with the
         # same message so bad configs never half-construct a service.
         BatchPolicy(self.max_batch_size, self.max_wait_seconds)
@@ -107,6 +152,10 @@ class ServiceReport:
     registry: MetricsRegistry
     machine: Machine
     fault_events: list[dict] = field(default_factory=list)
+    #: Final per-replica health states (empty when health is disabled).
+    health_states: dict[int, str] = field(default_factory=dict)
+    #: Final rollout summary (None when no rollout was active).
+    rollout: dict | None = None
 
     # ------------------------------------------------------------------
     def count(self, status: str) -> int:
@@ -160,9 +209,27 @@ class ServiceReport:
         total = hits + misses
         return hits / total if total else 0.0
 
+    def _counter_sum(self, name: str) -> int:
+        metric = self.registry.get(name)
+        if metric is None:
+            return 0
+        return int(sum(s.value for s in metric.samples()))
+
     @property
     def failovers(self) -> int:
         return int(self.registry.counter("serve_failovers_total").value())
+
+    @property
+    def hedges(self) -> int:
+        return self._counter_sum("serve_hedges_total")
+
+    @property
+    def hedge_wins(self) -> int:
+        return self._counter_sum("serve_hedge_wins_total")
+
+    @property
+    def respawns(self) -> int:
+        return self._counter_sum("serve_respawns_total")
 
     def summary(self) -> str:
         """Human-readable SLO report, built from the telemetry registry."""
@@ -194,10 +261,35 @@ class ServiceReport:
             f"model cache: hit rate {self.cache_hit_rate:.1%} "
             f"({int(self.registry.counter('serve_cache_hits_total').value())} hits, "
             f"{int(self.registry.counter('serve_cache_misses_total').value())} misses, "
-            f"{int(self.registry.counter('serve_cache_evictions_total').value())} evictions)"
+            f"{self._counter_sum('serve_cache_evictions_total')} evictions)"
         )
         if self.failovers:
             lines.append(f"failovers: {self.failovers}")
+        if self.health_states:
+            by_state: dict[str, int] = {}
+            for state in self.health_states.values():
+                by_state[state] = by_state.get(state, 0) + 1
+            parts = " ".join(f"{s}={n}" for s, n in sorted(by_state.items()))
+            lines.append(f"replica health: {parts}")
+        if self.respawns:
+            lines.append(f"respawns: {self.respawns} warm spare(s) activated")
+        if self.hedges:
+            lines.append(
+                f"hedges: {self.hedges} launched, {self.hedge_wins} won"
+            )
+        degraded = self._counter_sum("serve_degraded_entries_total")
+        if degraded:
+            lines.append(f"degraded mode: entered {degraded} time(s)")
+        if self.rollout is not None:
+            line = (
+                f"rollout: {self.rollout['state']} "
+                f"(fraction {self.rollout['fraction']:.0%}, "
+                f"{self.rollout['upgraded']}/{self.rollout['replicas']} "
+                f"replica(s) upgraded)"
+            )
+            if self.rollout.get("rollback_reason"):
+                line += f" — {self.rollout['rollback_reason']}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -208,8 +300,9 @@ class InferenceService:
     ----------
     machine: the simulated host+GPUs (e.g. from
         :func:`repro.gpusim.platform.make_machine`); one φ replica is
-        placed per GPU.
-    config: service policy (batching, queue bound, deadlines).
+        placed per GPU, minus ``config.warm_spares`` held in reserve.
+    config: service policy (batching, queue bound, deadlines,
+        resilience).
     registry: telemetry sink (a fresh one when omitted).
     fault_plan: optional :class:`~repro.faults.FaultPlan`; its
         ``iteration`` fields are interpreted as **batch sequence
@@ -239,17 +332,64 @@ class InferenceService:
         self.batcher = MicroBatcher(
             BatchPolicy(self.config.max_batch_size, self.config.max_wait_seconds)
         )
-        self.scheduler = ReplicaScheduler(machine)
+        if self.config.warm_spares >= len(machine.gpus):
+            raise ValueError(
+                f"warm_spares ({self.config.warm_spares}) must leave at "
+                f"least one active replica on a {len(machine.gpus)}-GPU "
+                "machine"
+            )
+        self.health = (
+            HealthMonitor(self.config.breaker)
+            if self.config.breaker is not None else None
+        )
+        self.scheduler = ReplicaScheduler(
+            machine,
+            num_replicas=len(machine.gpus) - self.config.warm_spares,
+            health=self.health,
+            upload_retry=(
+                self.config.breaker.transfer_retry()
+                if self.config.breaker is not None else None
+            ),
+        )
         self.kernel_config = KernelConfig(compressed=False)
+        self.rollout: RolloutManager | None = None
         self.injector = None
         if fault_plan is not None and len(fault_plan):
             from repro.faults import FaultInjector
 
             self.injector = FaultInjector(fault_plan, machine)
         self._batch_seq = 0
+        self._service_times = LatencyTracker(
+            self.config.hedge.window if self.config.hedge else 256
+        )
+        self._degraded = False
         #: min-heap of completion times for admitted-but-unfinished
         #: requests; admission bounds pending + in-flight against it.
         self._in_flight: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Rolling model hot-swap
+    # ------------------------------------------------------------------
+    def start_rollout(self, config: RolloutConfig) -> RolloutManager:
+        """Begin a rolling upgrade ``config.old_model → config.new_model``.
+
+        Subsequent traffic addressed to ``old_model`` is canaried,
+        promoted replica-by-replica, or rolled back per *config*; see
+        :class:`~repro.serve.resilience.RolloutManager`.
+        """
+        if self.rollout is not None and self.rollout.state in (
+            "canary", "promoting"
+        ):
+            raise ValueError(
+                "a rollout is already in progress "
+                f"({self.rollout.config.new_model!r}); finish or roll it "
+                "back first"
+            )
+        with telemetry_session(registry=self.registry):
+            self.rollout = RolloutManager(
+                config, num_replicas=len(self.scheduler.replicas)
+            )
+        return self.rollout
 
     # ------------------------------------------------------------------
     # Metrics helpers
@@ -273,6 +413,27 @@ class InferenceService:
             heapq.heappop(self._in_flight)
         return self.batcher.depth() + len(self._in_flight)
 
+    def _update_degraded(self, depth: int, now: float) -> None:
+        """Enter/leave degraded mode on queue occupancy (hysteresis)."""
+        policy = self.config.degradation
+        if policy is None:
+            return
+        occupancy = depth / self.config.max_queue
+        if not self._degraded and occupancy >= policy.shed_occupancy:
+            self._degraded = True
+            self.batcher.wait_cap = policy.degraded_max_wait_seconds
+            self.registry.counter(
+                "serve_degraded_entries_total",
+                "Times the service entered degraded mode.",
+            ).inc()
+        elif self._degraded and occupancy < policy.exit_threshold:
+            self._degraded = False
+            self.batcher.wait_cap = None
+        self.registry.gauge(
+            "serve_degraded_mode",
+            "1 while the service is in degraded (overload) mode.",
+        ).set(1.0 if self._degraded else 0.0)
+
     def _queue_gauges(self, now: float) -> None:
         depth = self._in_system(now)
         self.registry.gauge(
@@ -282,6 +443,7 @@ class InferenceService:
         self.registry.gauge(
             "serve_queue_depth_high_water", "Max in-system depth seen."
         ).set_max(depth)
+        self._update_degraded(depth, now)
 
     # ------------------------------------------------------------------
     # Trace-driven run
@@ -310,11 +472,13 @@ class InferenceService:
                 if next_arrival <= due_time:
                     request = order[i]
                     i += 1
-                    self._admit(request, results)
-                    while self.batcher.ready(request.model_key):
-                        self._dispatch(
-                            request.model_key, request.arrival_time, results
-                        )
+                    admitted = self._admit(request, results)
+                    if admitted is not None:
+                        while self.batcher.ready(admitted.model_key):
+                            self._dispatch(
+                                admitted.model_key, admitted.arrival_time,
+                                results,
+                            )
                 else:
                     self._dispatch(due[0], due_time, results)
         report = ServiceReport(
@@ -322,36 +486,85 @@ class InferenceService:
             registry=self.registry,
             machine=self.machine,
             fault_events=list(self.injector.events) if self.injector else [],
+            health_states=self.health.states() if self.health else {},
+            rollout=(
+                {
+                    "state": self.rollout.state,
+                    "fraction": self.rollout.fraction(),
+                    "upgraded": self.rollout.upgraded,
+                    "replicas": self.rollout.num_replicas,
+                    "rollback_reason": self.rollout.rollback_reason,
+                }
+                if self.rollout is not None else None
+            ),
         )
         return report
 
     # ------------------------------------------------------------------
+    def _reject(
+        self,
+        request: InferenceRequest,
+        reason: str,
+        message: str,
+        results: dict[int, RequestResult],
+    ) -> None:
+        rejection = RequestRejected(request.request_id, reason, message)
+        self.registry.counter(
+            "serve_rejections_total", "Rejected requests by reason.",
+            ("reason",),
+        ).inc(reason=rejection.reason)
+        self._mark("rejected")
+        results[request.request_id] = RequestResult(
+            request=request, status="rejected", error=str(rejection)
+        )
+
     def _admit(
         self, request: InferenceRequest, results: dict[int, RequestResult]
-    ) -> None:
-        """Admission control at arrival time: bounded in-system count."""
-        if self._in_system(request.arrival_time) >= self.config.max_queue:
-            rejection = RequestRejected(
-                request.request_id, "queue_full",
+    ) -> InferenceRequest | None:
+        """Admission control at arrival time; returns the admitted
+        request (possibly re-routed by an active rollout) or None."""
+        now = request.arrival_time
+        in_system = self._in_system(now)
+        self._update_degraded(in_system, now)
+        if in_system >= self.config.max_queue:
+            self._reject(
+                request, "queue_full",
                 f"request {request.request_id} rejected: queue is at its "
                 f"bound ({self.config.max_queue})",
+                results,
             )
-            self.registry.counter(
-                "serve_rejections_total", "Rejected requests by reason.",
-                ("reason",),
-            ).inc(reason=rejection.reason)
-            self._mark("rejected")
-            results[request.request_id] = RequestResult(
-                request=request, status="rejected", error=str(rejection)
+            return None
+        policy = self.config.degradation
+        if (
+            self._degraded
+            and policy is not None
+            and request.priority < policy.shed_priority_below
+        ):
+            self._reject(
+                request, "shed_low_priority",
+                f"request {request.request_id} shed: service is degraded "
+                f"and priority {request.priority} is below "
+                f"{policy.shed_priority_below}",
+                results,
             )
-            return
+            return None
+        if self.rollout is not None:
+            routed = self.rollout.route(request)
+            if routed != request.model_key:
+                request = replace(request, model_key=routed)
         self.batcher.enqueue(request)
-        self._queue_gauges(request.arrival_time)
+        self._queue_gauges(now)
+        return request
 
     def _deadline_of(self, request: InferenceRequest) -> float | None:
         if request.deadline_seconds is not None:
             return request.deadline_seconds
         return self.config.deadline_seconds
+
+    def _observe_rollout(self, model_key: str, status: str,
+                         ll: float | None, now: float) -> None:
+        if self.rollout is not None:
+            self.rollout.observe(model_key, status, ll, now)
 
     def _fail_batch(
         self,
@@ -360,9 +573,11 @@ class InferenceService:
         results: dict[int, RequestResult],
         now: float,
         batch_id: int,
+        model_key: str,
     ) -> None:
         for request in batch:
             self._mark("failed")
+            self._observe_rollout(model_key, "failed", None, now)
             results[request.request_id] = RequestResult(
                 request=request, status="failed", error=error,
                 dispatch_time=now, batch_id=batch_id,
@@ -388,7 +603,7 @@ class InferenceService:
         except (OSError, ValueError) as exc:
             self._fail_batch(
                 batch, f"model {model_key!r} could not be loaded: {exc}",
-                results, now, batch_id,
+                results, now, batch_id, model_key,
             )
             return
         self.registry.counter(
@@ -397,12 +612,6 @@ class InferenceService:
         self.registry.counter(
             "serve_cache_misses_total", "Model-cache misses (cold loads)."
         ).inc(0.0 if hit else 1.0)
-        # The cache owns the authoritative eviction count; mirror the
-        # delta since the last dispatch into the counter.
-        evictions = self.registry.counter(
-            "serve_cache_evictions_total", "Models evicted from the cache."
-        )
-        evictions.inc(self.cache.evictions - evictions.value())
 
         num_words = int(model.phi.shape[1])
         live: list[InferenceRequest] = []
@@ -413,6 +622,7 @@ class InferenceService:
             bad = max((max(d) for d in request.docs if d), default=-1)
             if bad >= num_words:
                 self._mark("failed")
+                self._observe_rollout(model_key, "failed", None, now)
                 results[request.request_id] = RequestResult(
                     request=request, status="failed",
                     dispatch_time=now, batch_id=batch_id,
@@ -437,17 +647,71 @@ class InferenceService:
             self._queue_gauges(now)
             return
 
+        prefer = None
+        if self.rollout is not None:
+            prefer = self.rollout.preferred_replicas(
+                model_key, [r.replica_id for r in self.scheduler.replicas]
+            )
         try:
             outcome = self.scheduler.dispatch(
                 live, digest, model.phi, model.hyper,
                 self.config.iterations, self.kernel_config,
-                now, batch_id,
+                now, batch_id, prefer=prefer,
             )
         except ServeError as exc:
-            self._fail_batch(live, str(exc), results, now, batch_id)
+            self._fail_batch(live, str(exc), results, now, batch_id, model_key)
             return
 
         execution = outcome.execution
+        if outcome.phi_uploaded:
+            self.registry.counter(
+                "serve_phi_uploads_total",
+                "phi broadcasts to a replica.", ("replica",),
+            ).inc(replica=execution.replica_id)
+
+        # Hedging: if the primary's predicted service time exceeds the
+        # policy quantile of recent batches, speculatively duplicate it
+        # on the next-best replica at the moment the timeout would fire
+        # and keep whichever completes first (payloads are identical).
+        hedged = False
+        hedge = self.config.hedge
+        if (
+            hedge is not None
+            and len(self._service_times) >= hedge.min_observations
+        ):
+            threshold = self._service_times.quantile(hedge.quantile)
+            if execution.end - now > threshold:
+                alt = self.scheduler.hedge_candidate(
+                    digest, execution.replica_id, now, prefer
+                )
+                if alt is not None:
+                    self.registry.counter(
+                        "serve_hedges_total",
+                        "Speculative duplicate dispatches.",
+                    ).inc()
+                    try:
+                        alt_exec, alt_uploaded = self.scheduler.hedge_dispatch(
+                            alt, live, digest, model.phi, model.hyper,
+                            self.config.iterations, self.kernel_config,
+                            now + threshold, batch_id,
+                        )
+                    except FaultError:
+                        pass  # primary still holds the payload
+                    else:
+                        if alt_uploaded:
+                            self.registry.counter(
+                                "serve_phi_uploads_total",
+                                "phi broadcasts to a replica.", ("replica",),
+                            ).inc(replica=alt_exec.replica_id)
+                        if alt_exec.end < execution.end:
+                            execution = alt_exec
+                            hedged = True
+                            self.registry.counter(
+                                "serve_hedge_wins_total",
+                                "Hedged duplicates that finished first.",
+                            ).inc()
+        self._service_times.observe(execution.end - now)
+
         # These requests occupy the system until the batch's simulated
         # completion; admission counts them against max_queue.
         for _ in live:
@@ -458,11 +722,6 @@ class InferenceService:
                 "serve_failovers_total",
                 "Batches re-dispatched after a replica fault.",
             ).inc(outcome.failovers)
-        if outcome.phi_uploaded:
-            self.registry.counter(
-                "serve_phi_uploads_total",
-                "phi broadcasts to a replica.", ("replica",),
-            ).inc(replica=execution.replica_id)
         self.registry.counter(
             "serve_batches_total", "Batches executed per replica.",
             ("replica",),
@@ -494,9 +753,14 @@ class InferenceService:
                     dispatch_time=now, completion_time=execution.end,
                     replica=execution.replica_id, batch_id=batch_id,
                     error=str(exc), failovers=outcome.failovers,
+                    hedged=hedged,
                 )
                 continue
             self._mark("completed")
+            self._observe_rollout(
+                model_key, "completed",
+                inference.log_likelihood_per_token, now,
+            )
             self.registry.counter("serve_tokens_served_total").inc(
                 request.num_tokens
             )
@@ -506,5 +770,5 @@ class InferenceService:
                 log_likelihood_per_token=inference.log_likelihood_per_token,
                 dispatch_time=now, completion_time=execution.end,
                 replica=execution.replica_id, batch_id=batch_id,
-                failovers=outcome.failovers,
+                failovers=outcome.failovers, hedged=hedged,
             )

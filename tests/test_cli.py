@@ -393,6 +393,46 @@ class TestServeCli:
         assert "fault events" in out
         assert "failovers:" in out
 
+    def test_loadgen_chaos_smoke(self, capsys, serve_checkpoints):
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--chaos", "--smoke", "--gpus", "4", "--platform", "pascal",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos invariants hold" in out
+        assert "fault events" in out
+        assert "replica health:" in out
+
+    def test_loadgen_chaos_with_spare_and_hedging(self, capsys,
+                                                  serve_checkpoints):
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--chaos", "--smoke", "--gpus", "4", "--platform", "pascal",
+            "--warm-spares", "1", "--hedge-quantile", "0.9",
+            "--low-priority-fraction", "0.2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos invariants hold" in out
+
+    def test_loadgen_chaos_needs_two_gpus(self, capsys, serve_checkpoints):
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--chaos", "--gpus", "1",
+        ])
+        assert rc == 2
+        assert "at least --gpus 2" in capsys.readouterr().err
+
+    def test_loadgen_warm_spares_must_leave_a_replica(self, capsys,
+                                                      serve_checkpoints):
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0],
+            "--gpus", "2", "--warm-spares", "2",
+        ])
+        assert rc == 2
+        assert "warm-spares" in capsys.readouterr().err
+
     def test_serve_missing_trace_is_an_error(self, capsys,
                                              serve_checkpoints):
         rc = main([

@@ -103,6 +103,48 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="fault #1"):
             FaultPlan.from_json(p)
 
+    def test_unknown_field_rejected_naming_field(self):
+        with pytest.raises(ValueError,
+                           match=r"fault #0 \(device_failure\): unknown "
+                                 r"field\(s\) 'sevrity'"):
+            FaultPlan.from_dict({"faults": [
+                {"kind": "device_failure", "iteration": 0, "device": 0,
+                 "sevrity": 9},
+            ]})
+
+    def test_unknown_kind_rejected_naming_entry(self):
+        with pytest.raises(ValueError,
+                           match="fault #1: unknown fault kind "
+                                 "'meteor_strike'"):
+            FaultPlan.from_dict({"faults": [
+                {"kind": "device_failure", "iteration": 0, "device": 0},
+                {"kind": "meteor_strike", "iteration": 1},
+            ]})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault #0 is missing the "
+                                             "'kind' field"):
+            FaultPlan.from_dict({"faults": [{"iteration": 0}]})
+
+    def test_missing_required_field_named_in_from_dict(self):
+        with pytest.raises(ValueError,
+                           match=r"fault #0 \(link_down\): missing "
+                                 r"required field\(s\) 'link'"):
+            FaultPlan.from_dict({"faults": [
+                {"kind": "link_down", "iteration": 1},
+            ]})
+
+    def test_faults_must_be_a_list(self):
+        with pytest.raises(ValueError, match="'faults' must be a list"):
+            FaultPlan.from_dict({"faults": {"kind": "device_failure"}})
+
+    def test_entry_must_be_an_object(self):
+        with pytest.raises(ValueError, match="fault #1 must be an object"):
+            FaultPlan.from_dict({"faults": [
+                {"kind": "device_failure", "iteration": 0, "device": 0},
+                "device_failure",
+            ]})
+
     def test_needs_machine(self):
         hw = FaultPlan(faults=(
             FaultSpec(kind="device_failure", iteration=0, device=0),))
@@ -426,6 +468,26 @@ class TestRollbackRecovery:
         assert err.value.phase == "recovery"
         assert err.value.violations
         assert "budget" in str(err.value)
+
+    def test_retry_exhaustion_carries_cause_and_fault_events(self, corpus):
+        # A permanently-down link with host fallback disabled escapes
+        # every transfer retry; each iteration's failure burns one
+        # rollback until the budget runs out. The resulting failure
+        # must carry the final underlying fault and the injector's
+        # event log — a bare "training failed" helps nobody triage.
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="link_down", iteration=1, link="p2p[0-1]"),))
+        policy = RecoveryPolicy(mode="retry", host_fallback=False,
+                                max_transfer_retries=1, max_rollbacks=2)
+        with pytest.raises(TrainingFailure) as err:
+            _train(corpus, gpus=2, plan=plan, recovery=policy)
+        failure = err.value
+        assert failure.phase == "recovery"
+        assert isinstance(failure.cause, LinkDown)
+        assert failure.cause is failure.__cause__
+        assert failure.fault_events
+        assert any(e["kind"] == "link_down" for e in failure.fault_events)
+        assert "budget" in str(failure) or "rollback" in str(failure)
 
 
 class TestCheckpointTruncationScenario:

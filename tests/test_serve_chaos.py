@@ -1,0 +1,211 @@
+"""Serving chaos harness: the acceptance scenario and the checker itself.
+
+The headline test runs four replicas under the default chaos plan —
+a replica death, a PCIe flap, a bounded link outage, and a kernel
+fault — and asserts the serving contract holds: every accepted request
+completes exactly once or is rejected with a structured reason,
+payloads stay bit-identical to direct ``infer_documents`` calls, the
+simulated clock is monotone, and tail latency stays within a stated
+bound of the fault-free 3-replica baseline (the capacity actually left
+after the kill).
+
+The second half tests the checker: a verifier that cannot catch a
+doctored report verifies nothing.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core.serialization import load_model
+from repro.faults import FaultPlan, FaultSpec
+from repro.gpusim.platform import make_machine
+from repro.serve import (
+    InferenceService,
+    ServiceConfig,
+    default_chaos_plan,
+    poisson_trace,
+    verify_report,
+)
+
+ITERATIONS = 3
+
+#: Chaos p99 may exceed the fault-free (G-1)-replica baseline's p99 by
+#: at most this factor (documented in docs/SERVING.md).
+P99_BOUND = 3.0
+
+
+def config(**overrides):
+    kwargs = dict(max_batch_size=4, max_wait_seconds=1e-3, max_queue=512,
+                  iterations=ITERATIONS)
+    kwargs.update(overrides)
+    return ServiceConfig(**kwargs)
+
+
+def run(trace, gpus, fault_plan=None, **overrides):
+    service = InferenceService(
+        make_machine("pascal", gpus), config(**overrides),
+        fault_plan=fault_plan,
+    )
+    return service.run_trace(trace)
+
+
+@pytest.fixture(scope="module")
+def model_info(serve_checkpoints):
+    ckpt = load_model(serve_checkpoints[0])
+    return serve_checkpoints[0], int(ckpt.phi.shape[1])
+
+
+@pytest.fixture(scope="module")
+def trace(model_info):
+    path, num_words = model_info
+    return poisson_trace([path], num_words, rate=4000, duration=0.03,
+                         seed=41)
+
+
+@pytest.fixture(scope="module")
+def chaos_report(trace):
+    return run(trace, gpus=4, fault_plan=default_chaos_plan(4))
+
+
+class TestChaosScenario:
+    def test_faults_actually_fired(self, chaos_report):
+        kinds = {e["kind"] for e in chaos_report.fault_events}
+        assert {"device_failure", "link_flaky", "link_down"} <= kinds
+        assert chaos_report.failovers > 0
+
+    def test_replica_death_is_terminal(self, chaos_report):
+        assert chaos_report.health_states[3] == "dead"
+        served_after = {r.replica for r in chaos_report.results
+                        if r.replica is not None and r.batch_id > 2}
+        assert 3 not in served_after
+
+    def test_all_invariants_hold(self, chaos_report, trace):
+        """Exactly-once, conservation, structured reasons, monotone
+        clock, and payload bit-identity — the whole contract."""
+        assert verify_report(chaos_report, trace,
+                             default_iterations=ITERATIONS) == []
+
+    def test_every_request_terminal(self, chaos_report, trace):
+        assert chaos_report.submitted == len(trace)
+        for result in chaos_report.results:
+            assert result.status in (
+                "completed", "rejected", "deadline_exceeded", "failed"
+            )
+            if result.status != "completed":
+                assert result.error
+
+    def test_p99_bounded_by_degraded_baseline(self, chaos_report, trace):
+        """Chaos with 4 replicas (one killed) stays within P99_BOUND of
+        a fault-free 3-replica run."""
+        baseline = run(trace, gpus=3)
+        assert baseline.count("completed") == baseline.submitted
+        chaos_p99 = chaos_report.latency_quantile(0.99)
+        base_p99 = baseline.latency_quantile(0.99)
+        assert chaos_p99 <= P99_BOUND * base_p99, (
+            f"chaos p99 {chaos_p99:.6f}s vs baseline {base_p99:.6f}s"
+        )
+
+    def test_deterministic_replay(self, trace):
+        a = run(trace, gpus=4, fault_plan=default_chaos_plan(4))
+        b = run(trace, gpus=4, fault_plan=default_chaos_plan(4))
+        assert [(r.status, r.replica, r.completion_time)
+                for r in a.results] == [
+            (r.status, r.replica, r.completion_time) for r in b.results
+        ]
+
+    def test_default_plan_needs_two_gpus(self):
+        with pytest.raises(ValueError, match="2 GPUs"):
+            default_chaos_plan(1)
+
+
+class TestChaosWithSpareAndHedging(object):
+    def test_full_resilience_stack_under_chaos(self, model_info):
+        """Warm spare + hedging + chaos plan, all at once: the
+        contract still holds and the spare takes over for the corpse."""
+        from repro.serve import HedgePolicy
+
+        path, num_words = model_info
+        trace = poisson_trace([path], num_words, rate=4000, duration=0.03,
+                              seed=43)
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="device_failure", iteration=2, device=2),
+            FaultSpec(kind="link_flaky", iteration=4, link="pcie[0]",
+                      count=2),
+        ))
+        service = InferenceService(
+            make_machine("pascal", 4),
+            config(warm_spares=1,
+                   hedge=HedgePolicy(quantile=0.7, min_observations=8)),
+            fault_plan=plan,
+        )
+        report = service.run_trace(trace)
+        assert report.respawns == 1
+        assert verify_report(report, trace,
+                             default_iterations=ITERATIONS) == []
+
+
+# ----------------------------------------------------------------------
+# The checker must catch doctored reports
+# ----------------------------------------------------------------------
+class TestVerifierCatchesTampering:
+    @pytest.fixture()
+    def clean(self, model_info):
+        path, num_words = model_info
+        trace = poisson_trace([path], num_words, rate=2000, duration=0.01,
+                              seed=47)
+        report = run(trace, gpus=2)
+        assert verify_report(report, trace,
+                             default_iterations=ITERATIONS) == []
+        return report, trace
+
+    def test_duplicate_result_detected(self, clean):
+        report, trace = clean
+        report = copy.copy(report)
+        report.results = report.results + [report.results[0]]
+        violations = verify_report(report, trace, check_payloads=False,
+                                   default_iterations=ITERATIONS)
+        assert any("more than once" in v for v in violations)
+
+    def test_lost_request_detected(self, clean):
+        report, trace = clean
+        report = copy.copy(report)
+        report.results = report.results[1:]
+        violations = verify_report(report, trace, check_payloads=False,
+                                   default_iterations=ITERATIONS)
+        assert any("lost" in v for v in violations)
+
+    def test_counter_mismatch_detected(self, clean):
+        report, trace = clean
+        report.registry.counter("serve_requests_total",
+                                labelnames=("status",)).inc(status="completed")
+        violations = verify_report(report, trace, check_payloads=False,
+                                   default_iterations=ITERATIONS)
+        assert any("serve_requests_total" in v for v in violations)
+
+    def test_tampered_payload_detected(self, clean):
+        report, trace = clean
+        victim = next(r for r in report.results if r.status == "completed")
+        victim.doc_topic = victim.doc_topic + 1e-9
+        violations = verify_report(report, trace,
+                                   default_iterations=ITERATIONS)
+        assert any("differs from" in v for v in violations)
+
+    def test_unstructured_failure_detected(self, clean):
+        report, trace = clean
+        victim = report.results[0]
+        victim.status = "failed"
+        victim.error = None
+        violations = verify_report(report, trace, check_payloads=False,
+                                   default_iterations=ITERATIONS)
+        assert any("without a structured reason" in v for v in violations)
+
+    def test_time_travel_detected(self, clean):
+        report, trace = clean
+        victim = next(r for r in report.results if r.status == "completed")
+        victim.completion_time = victim.dispatch_time - 1.0
+        violations = verify_report(report, trace, check_payloads=False,
+                                   default_iterations=ITERATIONS)
+        assert any("before its dispatch" in v for v in violations)

@@ -205,7 +205,7 @@ class TestFailures:
         request = InferenceRequest(0, ((0, 1, 2),), 0.0, path, seed=1)
         report = run([request], ServiceConfig(), gpus=1, fault_plan=plan)
         assert report.results[0].status == "failed"
-        assert "no alive replica" in report.results[0].error
+        assert "no routable replica" in report.results[0].error
 
 
 class TestThroughputScaling:

@@ -1,0 +1,564 @@
+"""Tests for the serving resilience layer.
+
+Replica health and circuit breakers, warm-spare respawn, hedged
+requests, rolling model hot-swap with canary/rollback, and graceful
+degradation — plus the regression PR 5 exists to fix: a replica marked
+dead must never be routed to again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serialization import load_model
+from repro.faults import FaultPlan, FaultSpec
+from repro.gpusim.errors import DeviceLost, KernelFault
+from repro.gpusim.platform import make_machine
+from repro.serve import (
+    BreakerPolicy,
+    DegradationPolicy,
+    HealthMonitor,
+    HedgePolicy,
+    InferenceService,
+    LatencyTracker,
+    ModelCache,
+    RolloutConfig,
+    RolloutManager,
+    ServiceConfig,
+    poisson_trace,
+    verify_report,
+)
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.context import telemetry_session
+
+
+@pytest.fixture(scope="module")
+def model_info(serve_checkpoints):
+    ckpt = load_model(serve_checkpoints[0])
+    return serve_checkpoints[0], int(ckpt.phi.shape[1])
+
+
+def make_service(config, gpus=2, platform="pascal", fault_plan=None):
+    return InferenceService(
+        make_machine(platform, gpus), config, fault_plan=fault_plan
+    )
+
+
+def assert_conservation(report):
+    assert report.submitted == (
+        report.count("completed")
+        + report.count("rejected")
+        + report.count("deadline_exceeded")
+        + report.count("failed")
+    )
+
+
+# ----------------------------------------------------------------------
+# Health state machine + circuit breaker (unit)
+# ----------------------------------------------------------------------
+class TestHealthMonitor:
+    def test_starts_healthy_and_routable(self):
+        mon = HealthMonitor()
+        mon.register(0)
+        assert mon.state(0) == "healthy"
+        assert mon.routable(0, now=0.0)
+
+    def test_fault_trips_breaker_until_cooldown(self):
+        mon = HealthMonitor(BreakerPolicy(cooldown_seconds=1e-3))
+        mon.register(0)
+        mon.on_fault(0, KernelFault(0, "serve"), now=1.0)
+        assert mon.state(0) == "suspect"
+        assert not mon.routable(0, now=1.0005)
+        # At the cooldown the breaker half-opens: the next dispatch is
+        # the trial.
+        assert mon.routable(0, now=1.001)
+
+    def test_success_closes_breaker(self):
+        mon = HealthMonitor(BreakerPolicy(dead_after=3))
+        mon.register(0)
+        mon.on_fault(0, KernelFault(0, "serve"), now=0.0)
+        mon.on_success(0, now=1.0)
+        assert mon.state(0) == "healthy"
+        # The streak reset: two more faults suspect, not kill.
+        mon.on_fault(0, KernelFault(0, "serve"), now=2.0)
+        mon.on_fault(0, KernelFault(0, "serve"), now=3.0)
+        assert mon.state(0) == "suspect"
+
+    def test_retrip_doubles_cooldown(self):
+        policy = BreakerPolicy(dead_after=10, cooldown_seconds=1e-3,
+                               cooldown_factor=2.0)
+        mon = HealthMonitor(policy)
+        mon.register(0)
+        mon.on_fault(0, KernelFault(0, "serve"), now=0.0)
+        assert mon.routable(0, now=1e-3)
+        mon.on_fault(0, KernelFault(0, "serve"), now=1e-3)
+        assert not mon.routable(0, now=1e-3 + 1.5e-3)
+        assert mon.routable(0, now=1e-3 + 2e-3)
+
+    def test_consecutive_faults_kill(self):
+        mon = HealthMonitor(BreakerPolicy(dead_after=2))
+        mon.register(0)
+        mon.on_fault(0, KernelFault(0, "serve"), now=0.0)
+        assert mon.state(0) == "suspect"
+        mon.on_fault(0, KernelFault(0, "serve"), now=1.0)
+        assert mon.state(0) == "dead"
+        # Dead is permanent: no cooldown ever re-admits it.
+        assert not mon.routable(0, now=1e9)
+
+    def test_device_lost_kills_immediately(self):
+        mon = HealthMonitor(BreakerPolicy(dead_after=100))
+        mon.register(0)
+        mon.on_fault(0, DeviceLost(0), now=0.0)
+        assert mon.state(0) == "dead"
+
+    def test_transitions_logged_and_counted(self):
+        registry = MetricsRegistry()
+        mon = HealthMonitor(BreakerPolicy(dead_after=2))
+        with telemetry_session(registry=registry):
+            mon.register(0)
+            mon.on_fault(0, KernelFault(0, "serve"), now=0.5)
+            mon.on_fault(0, KernelFault(0, "serve"), now=0.7)
+        assert [(t, to) for t, _, _, to in mon.transitions] == [
+            (0.5, "suspect"), (0.7, "dead"),
+        ]
+        counter = registry.get("serve_health_transitions_total")
+        assert counter.value(replica=0, to="suspect") == 1
+        assert counter.value(replica=0, to="dead") == 1
+
+    def test_respawning_is_routable(self):
+        mon = HealthMonitor()
+        mon.register(1)
+        mon.mark_dead(1, now=0.0)
+        mon.mark_respawning(1, now=1.0)
+        assert mon.state(1) == "respawning"
+        assert mon.routable(1, now=1.0)
+
+
+class TestLatencyTracker:
+    def test_quantiles_on_known_data(self):
+        t = LatencyTracker(window=100)
+        for v in range(1, 101):
+            t.observe(float(v))
+        assert t.quantile(0.0) == 1.0
+        assert t.quantile(0.5) == 51.0
+        assert t.quantile(1.0) == 100.0
+
+    def test_window_slides(self):
+        t = LatencyTracker(window=3)
+        for v in (10.0, 20.0, 30.0, 40.0):
+            t.observe(v)
+        assert len(t) == 3
+        assert t.quantile(0.0) == 20.0
+
+    def test_empty_and_bad_q_rejected(self):
+        t = LatencyTracker()
+        with pytest.raises(ValueError):
+            t.quantile(0.5)
+        t.observe(1.0)
+        with pytest.raises(ValueError):
+            t.quantile(1.5)
+
+
+# ----------------------------------------------------------------------
+# Dead replicas stay dead (the PR's satellite regression)
+# ----------------------------------------------------------------------
+class TestDeadReplicaPermanence:
+    def test_dead_replica_never_reselected(self, model_info):
+        """After a DeviceLost, the replica leaves the routing set for
+        good — every subsequent batch lands elsewhere."""
+        path, num_words = model_info
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="device_failure", iteration=0, device=0),
+        ))
+        trace = poisson_trace([path], num_words, rate=2000, duration=0.02,
+                              seed=3)
+        service = make_service(
+            ServiceConfig(max_batch_size=2, max_wait_seconds=5e-4,
+                          max_queue=256, iterations=3),
+            gpus=2, fault_plan=plan,
+        )
+        report = service.run_trace(trace)
+        assert report.count("completed") == report.submitted
+        assert service.scheduler.dead_replicas == {0}
+        served_on = {r.replica for r in report.results}
+        assert served_on == {1}
+        assert report.health_states[0] == "dead"
+        # Many batches ran after the death; none probed the corpse.
+        batches = {r.batch_id for r in report.results}
+        assert len(batches) > 3
+
+    def test_breaker_ejects_faulty_replica_within_cooldown(self, model_info):
+        """A transient kernel fault opens the breaker: traffic avoids
+        the replica until the cooldown expires."""
+        path, num_words = model_info
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="kernel_fault", iteration=0, device=0,
+                      op="serve"),
+        ))
+        # Cooldown far longer than the trace: replica 0 stays ejected.
+        config = ServiceConfig(
+            max_batch_size=2, max_wait_seconds=5e-4, max_queue=256,
+            iterations=3, breaker=BreakerPolicy(cooldown_seconds=10.0),
+        )
+        trace = poisson_trace([path], num_words, rate=2000, duration=0.015,
+                              seed=5)
+        service = make_service(config, gpus=2, fault_plan=plan)
+        report = service.run_trace(trace)
+        assert report.count("completed") == report.submitted
+        assert {r.replica for r in report.results} == {1}
+        assert report.health_states[0] == "suspect"
+        # Not dead: the scheduler would still route to it eventually.
+        assert service.scheduler.dead_replicas == set()
+
+    def test_breaker_half_open_readmits_after_cooldown(self, model_info):
+        path, num_words = model_info
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="kernel_fault", iteration=0, device=0,
+                      op="serve"),
+        ))
+        # Cooldown shorter than the trace: the half-open trial succeeds
+        # and replica 0 returns to service.
+        config = ServiceConfig(
+            max_batch_size=2, max_wait_seconds=5e-4, max_queue=256,
+            iterations=3, breaker=BreakerPolicy(cooldown_seconds=2e-3),
+        )
+        trace = poisson_trace([path], num_words, rate=2000, duration=0.03,
+                              seed=5)
+        report = make_service(config, gpus=2, fault_plan=plan).run_trace(trace)
+        assert report.count("completed") == report.submitted
+        assert {r.replica for r in report.results} == {0, 1}
+        assert report.health_states[0] == "healthy"
+
+
+# ----------------------------------------------------------------------
+# Warm spares / elastic respawn
+# ----------------------------------------------------------------------
+class TestWarmSpares:
+    def test_spare_activated_on_replica_death(self, model_info):
+        path, num_words = model_info
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="device_failure", iteration=1, device=1),
+        ))
+        config = ServiceConfig(max_batch_size=2, max_wait_seconds=5e-4,
+                               max_queue=256, iterations=3, warm_spares=1)
+        trace = poisson_trace([path], num_words, rate=2500, duration=0.02,
+                              seed=9)
+        service = make_service(config, gpus=3, fault_plan=plan)
+        assert len(service.scheduler.replicas) == 2  # gpu 2 held back
+        report = service.run_trace(trace)
+        assert_conservation(report)
+        assert report.count("completed") == report.submitted
+        assert report.respawns == 1
+        # The spare (gpu 2) took over; phi was re-broadcast to it.
+        assert 2 in {r.replica for r in report.results}
+        assert report.registry.get("serve_phi_uploads_total").value(
+            replica=2
+        ) >= 1
+        assert report.health_states[1] == "dead"
+        # Payloads survived the respawn bit-identically.
+        assert verify_report(report, trace, default_iterations=3,
+                             payload_sample=16) == []
+
+    def test_warm_spares_must_leave_a_replica(self, model_info):
+        with pytest.raises(ValueError, match="warm_spares"):
+            make_service(ServiceConfig(warm_spares=2), gpus=2)
+
+
+# ----------------------------------------------------------------------
+# Hedged requests
+# ----------------------------------------------------------------------
+class TestHedging:
+    @pytest.fixture(scope="class")
+    def hedged_run(self, model_info):
+        path, num_words = model_info
+        config = ServiceConfig(
+            max_batch_size=4, max_wait_seconds=1e-3, max_queue=512,
+            iterations=3,
+            hedge=HedgePolicy(quantile=0.5, min_observations=4),
+        )
+        trace = poisson_trace([path], num_words, rate=3000, duration=0.03,
+                              seed=13)
+        report = make_service(config, gpus=2).run_trace(trace)
+        return report, trace
+
+    def test_hedges_fire_and_sometimes_win(self, hedged_run):
+        report, _ = hedged_run
+        assert report.hedges > 0
+        assert 0 <= report.hedge_wins <= report.hedges
+        assert any(r.hedged for r in report.results) == (
+            report.hedge_wins > 0
+        )
+
+    def test_hedging_moves_time_not_bits(self, hedged_run):
+        report, trace = hedged_run
+        assert report.count("completed") == report.submitted
+        assert verify_report(report, trace, default_iterations=3) == []
+
+    def test_hedged_timings_never_later_than_unhedged(self, model_info):
+        """Hedging can only pull completions earlier."""
+        path, num_words = model_info
+        trace = poisson_trace([path], num_words, rate=3000, duration=0.02,
+                              seed=13)
+        base_cfg = dict(max_batch_size=4, max_wait_seconds=1e-3,
+                        max_queue=512, iterations=3)
+        plain = make_service(ServiceConfig(**base_cfg), gpus=2).run_trace(trace)
+        hedged = make_service(
+            ServiceConfig(**base_cfg,
+                          hedge=HedgePolicy(quantile=0.5,
+                                            min_observations=4)),
+            gpus=2,
+        ).run_trace(trace)
+        for p, h in zip(plain.results, hedged.results):
+            if h.hedged:
+                assert h.completion_time <= p.completion_time
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    @pytest.fixture(scope="class")
+    def overload_run(self, model_info):
+        path, num_words = model_info
+        config = ServiceConfig(
+            max_batch_size=2, max_wait_seconds=5e-4, max_queue=8,
+            iterations=40,
+            degradation=DegradationPolicy(shed_occupancy=0.5),
+        )
+        trace = poisson_trace([path], num_words, rate=30_000,
+                              duration=0.004, seed=7, mean_doc_len=80,
+                              low_priority_fraction=0.5)
+        report = make_service(config, gpus=1).run_trace(trace)
+        return report
+
+    def test_low_priority_shed_first(self, overload_run):
+        report = overload_run
+        assert_conservation(report)
+        shed = [r for r in report.results
+                if r.status == "rejected" and "shed" in (r.error or "")]
+        assert shed, "overload never shed low-priority traffic"
+        assert all(r.request.priority == 0 for r in shed)
+        assert report.registry.get("serve_rejections_total").value(
+            reason="shed_low_priority"
+        ) == len(shed)
+
+    def test_degraded_mode_counted(self, overload_run):
+        report = overload_run
+        entries = report.registry.get("serve_degraded_entries_total")
+        assert entries is not None and entries.value() >= 1
+
+    def test_high_priority_only_rejected_for_queue_full(self, overload_run):
+        for r in overload_run.results:
+            if r.status == "rejected" and r.request.priority >= 1:
+                assert "queue" in r.error
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="shed_occupancy"):
+            DegradationPolicy(shed_occupancy=0.0)
+        with pytest.raises(ValueError, match="exit_occupancy"):
+            DegradationPolicy(shed_occupancy=0.5, exit_occupancy=0.9)
+        assert DegradationPolicy(shed_occupancy=0.8).exit_threshold == 0.4
+
+
+# ----------------------------------------------------------------------
+# Rolling model hot-swap (unit)
+# ----------------------------------------------------------------------
+class TestRolloutManager:
+    def _mgr(self, registry=None, **overrides):
+        kwargs = dict(old_model="old.npz", new_model="new.npz",
+                      canary_fraction=0.25, min_canary=4, min_baseline=4,
+                      promote_step=2)
+        kwargs.update(overrides)
+        if registry is None:
+            return RolloutManager(RolloutConfig(**kwargs), num_replicas=4)
+        with telemetry_session(registry=registry):
+            return RolloutManager(RolloutConfig(**kwargs), num_replicas=4)
+
+    def _req(self, rid, seed=0, model="old.npz"):
+        from repro.serve import InferenceRequest
+
+        return InferenceRequest(rid, ((0, 1),), 0.0, model, seed=seed)
+
+    def test_routing_is_deterministic_and_fractional(self):
+        mgr = self._mgr()
+        routes = [mgr.route(self._req(i, seed=i)) for i in range(400)]
+        assert routes == [mgr.route(self._req(i, seed=i)) for i in range(400)]
+        canaried = sum(1 for r in routes if r == "new.npz")
+        assert 0.1 < canaried / 400 < 0.45  # ~canary_fraction
+        # Foreign models pass through untouched.
+        assert mgr.route(self._req(0, model="other.npz")) == "other.npz"
+
+    def test_promotion_ramps_to_completed(self):
+        registry = MetricsRegistry()
+        mgr = self._mgr(registry)
+        with telemetry_session(registry=registry):
+            for i in range(4):
+                mgr.observe("old.npz", "completed", -7.0, now=float(i))
+            for i in range(20):
+                mgr.observe("new.npz", "completed", -7.0, now=float(i))
+        assert mgr.state == "completed"
+        assert mgr.fraction() == 1.0
+        assert registry.get("serve_rollout_promotions_total").value() == 4
+
+    def test_ll_regression_rolls_back(self):
+        registry = MetricsRegistry()
+        mgr = self._mgr(registry, max_ll_regression=0.1)
+        with telemetry_session(registry=registry):
+            for i in range(4):
+                mgr.observe("old.npz", "completed", -7.0, now=float(i))
+            for i in range(4):
+                mgr.observe("new.npz", "completed", -7.5, now=float(i))
+        assert mgr.state == "rolled_back"
+        assert "log-likelihood" in mgr.rollback_reason
+        assert mgr.fraction() == 0.0
+        assert all(
+            mgr.route(self._req(i, seed=i)) == "old.npz" for i in range(100)
+        )
+        assert registry.get("serve_rollout_rollbacks_total").value() == 1
+
+    def test_error_rate_regression_rolls_back(self):
+        mgr = self._mgr(max_error_rate_increase=0.1)
+        for i in range(4):
+            mgr.observe("old.npz", "completed", -7.0, now=float(i))
+        for i in range(4):
+            mgr.observe("new.npz", "failed", None, now=float(i))
+        assert mgr.state == "rolled_back"
+        assert "error rate" in mgr.rollback_reason
+
+    def test_preferred_replicas_split_by_version(self):
+        mgr = self._mgr()
+        mgr.state = "promoting"
+        mgr.upgraded = 2
+        ids = [0, 1, 2, 3]
+        assert mgr.preferred_replicas("new.npz", ids) == {0, 1}
+        assert mgr.preferred_replicas("old.npz", ids) == {2, 3}
+        assert mgr.preferred_replicas("other.npz", ids) is None
+
+    def test_rejections_do_not_move_the_decision(self):
+        mgr = self._mgr()
+        for i in range(100):
+            mgr.observe("new.npz", "rejected", None, now=float(i))
+            mgr.observe("new.npz", "deadline_exceeded", None, now=float(i))
+        assert mgr.state == "canary"
+
+
+# ----------------------------------------------------------------------
+# Rolling model hot-swap (service level)
+# ----------------------------------------------------------------------
+class TestRolloutService:
+    def test_rolling_upgrade_completes_with_mixed_traffic(
+        self, serve_checkpoints
+    ):
+        old, new = serve_checkpoints
+        num_words = int(load_model(old).phi.shape[1])
+        config = ServiceConfig(max_batch_size=4, max_wait_seconds=1e-3,
+                               max_queue=512, iterations=3,
+                               cache_capacity=2)
+        service = make_service(config, gpus=2)
+        service.start_rollout(RolloutConfig(
+            old_model=old, new_model=new, canary_fraction=0.3,
+            min_canary=4, min_baseline=4, promote_step=2,
+        ))
+        trace = poisson_trace([old], num_words, rate=4000, duration=0.05,
+                              seed=23)
+        report = service.run_trace(trace)
+        assert_conservation(report)
+        assert report.count("completed") == report.submitted
+        served = {r.request.model_key for r in report.results}
+        assert served == {old, new}, "traffic never mixed versions"
+        assert report.rollout["state"] == "completed"
+        assert report.rollout["fraction"] == 1.0
+        assert report.registry.get(
+            "serve_rollout_promotions_total"
+        ).value() == 2
+        # Mixed-version payloads are each bit-identical to a direct
+        # call against the version that actually served them — no
+        # stale or torn phi read anywhere.
+        assert verify_report(report, trace, default_iterations=3) == []
+
+    def test_canary_regression_rolls_back_automatically(
+        self, serve_checkpoints, tmp_path
+    ):
+        old = serve_checkpoints[0]
+        num_words = int(load_model(old).phi.shape[1])
+        # The "new version" is a checkpoint that cannot load: every
+        # canary batch fails, which is exactly the error-rate
+        # regression the rollout must catch.
+        broken = str(tmp_path / "missing-model.npz")
+        config = ServiceConfig(max_batch_size=4, max_wait_seconds=1e-3,
+                               max_queue=512, iterations=3)
+        service = make_service(config, gpus=2)
+        service.start_rollout(RolloutConfig(
+            old_model=old, new_model=broken, canary_fraction=0.3,
+            min_canary=3, min_baseline=3, max_error_rate_increase=0.0,
+        ))
+        trace = poisson_trace([old], num_words, rate=4000, duration=0.04,
+                              seed=29)
+        report = service.run_trace(trace)
+        assert_conservation(report)
+        assert report.rollout["state"] == "rolled_back"
+        assert "error rate" in report.rollout["rollback_reason"]
+        assert report.registry.get(
+            "serve_rollout_rollbacks_total"
+        ).value() == 1
+        # Canary casualties are structured failures, not losses.
+        failed = [r for r in report.results if r.status == "failed"]
+        assert failed
+        assert all(broken in r.error for r in failed)
+        assert all(r.request.model_key == broken for r in failed)
+        # After the rollback the old version absorbed all remaining
+        # traffic.
+        last_failed = max(r.request.request_id for r in failed)
+        tail = [r for r in report.results
+                if r.request.request_id > last_failed]
+        assert tail and all(r.status == "completed" for r in tail)
+
+    def test_concurrent_rollout_rejected(self, serve_checkpoints):
+        old, new = serve_checkpoints
+        service = make_service(ServiceConfig(), gpus=2)
+        service.start_rollout(RolloutConfig(old_model=old, new_model=new))
+        with pytest.raises(ValueError, match="already in progress"):
+            service.start_rollout(
+                RolloutConfig(old_model=old, new_model=new)
+            )
+
+
+# ----------------------------------------------------------------------
+# Model-cache telemetry (satellite)
+# ----------------------------------------------------------------------
+class TestCacheTelemetry:
+    def test_lru_eviction_visible_in_registry(self):
+        registry = MetricsRegistry()
+        loads = []
+        cache = ModelCache(
+            capacity=1,
+            loader=lambda p: loads.append(p) or object(),
+            digest_fn=lambda p: f"digest:{p}",
+        )
+        with telemetry_session(registry=registry):
+            cache.get("a.npz")
+            cache.get("b.npz")   # evicts a
+            cache.get("a.npz")   # reload, evicts b
+        assert cache.evictions == 2
+        assert registry.get("serve_cache_evictions_total").value() == 2
+        assert registry.get("serve_cache_resident_models").value() == 1
+
+    def test_service_counters_match_cache(self, serve_checkpoints):
+        a, b = serve_checkpoints
+        num_words = int(load_model(a).phi.shape[1])
+        config = ServiceConfig(max_batch_size=4, max_wait_seconds=1e-3,
+                               max_queue=512, iterations=3,
+                               cache_capacity=1)
+        trace = poisson_trace([a, b], num_words, rate=3000, duration=0.02,
+                              seed=31)
+        service = make_service(config, gpus=2)
+        report = service.run_trace(trace)
+        evicted = report.registry.get("serve_cache_evictions_total")
+        assert evicted is not None
+        # No double counting: the registry and the cache's own tally
+        # agree exactly.
+        assert evicted.value() == service.cache.evictions > 0
+        assert report.registry.get(
+            "serve_cache_resident_models"
+        ).value() == 1
