@@ -7,28 +7,23 @@ bit-identical — compression is lossless at valid scales.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
-from conftest import banner
-from repro.core import CuLDA, TrainConfig
+from conftest import banner, make_corpus, make_culda
 from repro.core.kernels import KernelConfig
-from repro.corpus.synthetic import nytimes_like
-from repro.gpusim.platform import pascal_platform
 from repro.sched.partition import model_device_bytes
 
 
 def test_ablation_compression(benchmark):
-    corpus = nytimes_like(num_tokens=30_000, num_topics=8, seed=4)
-    base = TrainConfig(num_topics=64, iterations=5, seed=0)
+    corpus = make_corpus("nytimes", tokens=30_000, num_topics=8, seed=4)
+    base = dict(num_topics=64, iterations=5, seed=0)
 
     compressed = benchmark.pedantic(
-        lambda: CuLDA(corpus, pascal_platform(1), base).train(),
+        lambda: make_culda(corpus, platform="pascal", **base).train(),
         rounds=1, iterations=1,
     )
-    wide = CuLDA(
-        corpus, pascal_platform(1), replace(base, compressed=False)
+    wide = make_culda(
+        corpus, platform="pascal", compressed=False, **base
     ).train()
 
     banner("Ablation: 16-bit compression vs 32-bit")

@@ -7,14 +7,10 @@ level (big φ, 4 GPUs) and end-to-end through the trainer.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
-from conftest import banner
-from repro.core import CuLDA, TrainConfig
+from conftest import banner, make_corpus, make_culda
 from repro.core.kernels import KernelConfig
-from repro.corpus.synthetic import pubmed_like
 from repro.gpusim.memory import DeviceArray
 from repro.gpusim.platform import pascal_platform
 from repro.sched.sync import broadcast_phi, cpu_gather_sync, reduce_phi_tree
@@ -63,16 +59,17 @@ def test_ablation_sync_raw(benchmark):
 
 
 def test_ablation_sync_end_to_end(benchmark):
-    corpus = pubmed_like(num_tokens=60_000, num_topics=8, seed=1)
-    base = TrainConfig(num_topics=128, iterations=4, seed=0)
+    corpus = make_corpus("pubmed", tokens=60_000, num_topics=8, seed=1)
+    base = dict(num_topics=128, iterations=4, seed=0)
 
     tree = benchmark.pedantic(
-        lambda: CuLDA(corpus, pascal_platform(4), base).train(),
+        lambda: make_culda(corpus, platform="pascal", gpus=4,
+                           **base).train(),
         rounds=1, iterations=1,
     )
-    gather = CuLDA(
-        corpus, pascal_platform(4),
-        replace(base, sync_algorithm="cpu_gather"),
+    gather = make_culda(
+        corpus, platform="pascal", gpus=4, sync_algorithm="cpu_gather",
+        **base,
     ).train()
 
     banner("Ablation: sync algorithm, end-to-end (4 GPUs)")

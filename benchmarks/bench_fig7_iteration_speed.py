@@ -12,10 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import banner
-from repro.core import CuLDA, TrainConfig
-from repro.corpus.synthetic import nytimes_like
-from repro.gpusim.platform import pascal_platform
+from conftest import banner, make_corpus, make_culda
 from repro.perfmodel import fig7_series
 
 SHOW_ITERS = (0, 4, 9, 19, 49, 99)
@@ -63,11 +60,11 @@ def test_fig7_pubmed_flatter_than_nytimes(benchmark, projection_cfg):
 def test_fig7_functional_ramp(benchmark):
     """The ramp's mechanism, measured: mean K_d falls and throughput
     rises over the first iterations of a real training run."""
-    corpus = nytimes_like(num_tokens=40_000, num_topics=8, seed=3)
+    corpus = make_corpus("nytimes", tokens=40_000, num_topics=8, seed=3)
     r = benchmark.pedantic(
-        lambda: CuLDA(
-            corpus, pascal_platform(1),
-            TrainConfig(num_topics=64, iterations=20, seed=0),
+        lambda: make_culda(
+            corpus, platform="pascal", gpus=1,
+            num_topics=64, iterations=20, seed=0,
         ).train(),
         rounds=1, iterations=1,
     )

@@ -11,10 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import PAPER_FIG9, banner
-from repro.core import CuLDA, TrainConfig
-from repro.corpus.synthetic import pubmed_like
-from repro.gpusim.platform import pascal_platform
+from conftest import PAPER_FIG9, banner, make_corpus, make_culda
 from repro.perfmodel import fig9_scaling
 
 SHOW_ITERS = (0, 9, 49, 99)
@@ -42,14 +39,14 @@ def test_fig9_projection(benchmark, projection_cfg):
 def test_fig9_functional_scaling(benchmark):
     """Functional cross-check: real training, token-balanced chunks,
     reduce-tree sync; more GPUs → faster, same model bits."""
-    corpus = pubmed_like(num_tokens=120_000, num_topics=8, seed=2,
+    corpus = make_corpus("pubmed", tokens=120_000, num_topics=8, seed=2,
                          vocab_cap=2048)
 
     def run(gpus: int):
-        return CuLDA(
-            corpus, pascal_platform(gpus),
-            TrainConfig(num_topics=64, iterations=6, seed=0,
-                        chunks_per_gpu=4 // gpus),
+        return make_culda(
+            corpus, platform="pascal", gpus=gpus,
+            num_topics=64, iterations=6, seed=0,
+            chunks_per_gpu=4 // gpus,
         ).train()
 
     results = {g: run(g) for g in (1, 2)}

@@ -12,6 +12,31 @@ from __future__ import annotations
 
 import pytest
 
+# Seeded workload builders shared with the benchmark observatory
+# (repro.obs.scenarios uses the same ones, so the pytest benches and
+# the `repro-lda bench` suite construct identical workloads).
+from repro.obs.workloads import (  # noqa: F401
+    kernel_state,
+    make_baseline,
+    make_corpus,
+    make_culda,
+    make_platform,
+    train_tiny_checkpoint,
+)
+
+__all__ = [
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_FIG9",
+    "banner",
+    "kernel_state",
+    "make_baseline",
+    "make_corpus",
+    "make_culda",
+    "make_platform",
+    "train_tiny_checkpoint",
+]
+
 #: Paper numbers used across benches (M tokens/sec, Table 4).
 PAPER_TABLE4 = {
     "NYTimes": {"Titan": 173.6, "Pascal": 208.0, "Volta": 633.0, "WarpLDA": 108.0},

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro-lda train    # train CuLDA_CGS on a UCI file or synthetic twin
     repro-lda infer    # fold new documents into a saved model
@@ -8,6 +8,7 @@ Six subcommands::
     repro-lda profile  # instrumented run: breakdown, Gantt, counters
     repro-lda serve    # replay a request trace through the online service
     repro-lda loadgen  # Poisson open-loop load test of the service
+    repro-lda bench    # run the benchmark suite / regression gate
 
 Examples
 --------
@@ -28,6 +29,11 @@ Examples
     repro-lda loadgen --model model.npz --rate 2000 --duration 0.05 \
         --gpus 2 --deadline 0.01 --metrics serve.prom
     repro-lda loadgen --model model.npz --smoke      # CI-sized preset
+    repro-lda bench --tier quick --out BENCH_ci.json \
+        --compare BENCH_6.json                # CI regression gate
+    repro-lda loadgen --model model.npz --chaos --gpus 4 \
+        --hedge-quantile 0.9 --request-trace-chrome spans.json
+    repro-lda profile --serve-trace spans.jsonl      # request critical paths
 """
 
 from __future__ import annotations
@@ -179,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="stream the training events as JSONL")
     pr.add_argument("--top", type=_positive_int, default=12,
                     help="counter rows to print")
+    pr.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format; json emits the stable "
+                    "repro-profile/1 schema (see docs/BENCHMARKS.md)")
+    pr.add_argument("--serve-trace", metavar="SPANS.jsonl",
+                    help="instead of training, reconstruct request "
+                    "critical paths from a span file written by "
+                    "serve/loadgen --request-trace")
+    pr.add_argument("--trace-id", metavar="ID",
+                    help="focus the --serve-trace breakdown on one "
+                    "request's trace ID")
 
     def add_service_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--platform", choices=PLATFORMS, default="volta")
@@ -212,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Prometheus text-format snapshot")
         p.add_argument("--top", type=_positive_int, default=10,
                        help="counter rows to print")
+        p.add_argument("--request-trace", metavar="SPANS.jsonl",
+                       help="write per-request trace spans as JSONL "
+                       "(inspect with 'profile --serve-trace')")
+        p.add_argument("--request-trace-chrome", metavar="FILE.json",
+                       help="write per-request trace spans as a "
+                       "Chrome/Perfetto trace (chrome://tracing)")
 
     se = sub.add_parser(
         "serve",
@@ -255,6 +277,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the generated trace (replayable "
                     "with 'serve --trace')")
     add_service_args(lg)
+
+    b = sub.add_parser(
+        "bench",
+        help="run the curated benchmark suite; write a BENCH_*.json "
+        "snapshot and optionally gate against a baseline",
+    )
+    b.add_argument("--tier", choices=("quick", "full"), default="quick",
+                   help="quick = the CI subset; full adds the larger "
+                   "scenarios (tiers select scenarios, never shrink "
+                   "workloads)")
+    b.add_argument("--only", metavar="SUBSTR",
+                   help="run only scenarios whose name contains SUBSTR")
+    b.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="list the selected scenarios and exit")
+    b.add_argument("--out", metavar="FILE",
+                   help="write the snapshot JSON (schema repro-bench/1)")
+    b.add_argument("--compare", metavar="BASELINE.json",
+                   help="compare against a baseline snapshot; exit 1 "
+                   "on any gated regression")
+    b.add_argument("--verbose", action="store_true",
+                   help="show unchanged metrics in the --compare table")
 
     p = sub.add_parser("project", help="print a paper artifact")
     p.add_argument("artifact", choices=("table1", "table4", "table5",
@@ -410,14 +453,53 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_serve_trace(args: argparse.Namespace) -> int:
+    """``profile --serve-trace``: reconstruct request critical paths."""
+    import json
+
+    from repro.telemetry.tracing import (
+        format_serve_trace,
+        read_spans_jsonl,
+        serve_trace_json,
+    )
+
+    try:
+        spans = read_spans_jsonl(args.serve_trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: invalid span file {args.serve_trace}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"error: {args.serve_trace} holds no spans", file=sys.stderr)
+        return 2
+    if args.trace_id and not any(s.trace_id == args.trace_id for s in spans):
+        print(f"error: no trace {args.trace_id!r} in {args.serve_trace}",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(serve_trace_json(spans), indent=2, sort_keys=True))
+    else:
+        print(format_serve_trace(spans, trace_id=args.trace_id,
+                                 top=args.top))
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core import CuLDA, TrainConfig
     from repro.core.culda import BREAKDOWN_KINDS, _busy_fractions
     from repro.engine import TrainingFailure
     from repro.gpusim.platform import make_machine
+    from repro.obs.profiling import profile_json
     from repro.telemetry import JSONLEmitter, MetricsRegistry
     from repro.telemetry.exporters import merged_chrome_json, to_prometheus
 
+    if args.serve_trace:
+        return _cmd_profile_serve_trace(args)
+    if args.trace_id:
+        print("error: --trace-id requires --serve-trace", file=sys.stderr)
+        return 2
     fault_plan = _load_fault_plan(args.faults)
     if fault_plan is _BAD_PLAN:
         return 2
@@ -443,6 +525,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     except TrainingFailure as exc:
         _print_training_failure(exc)
         return 1
+
+    if args.format == "json":
+        report = profile_json(
+            result, machine, registry, corpus.name, args.topics,
+            top=args.top,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if args.trace:
+            with open(args.trace, "w") as fh:
+                fh.write(merged_chrome_json(machine.trace,
+                                            trainer.host_trace))
+        if args.metrics:
+            with open(args.metrics, "w") as fh:
+                fh.write(to_prometheus(registry))
+        return 0
 
     print(f"profile: {corpus.name} on {machine.name}, "
           f"K={args.topics}, {len(result.iterations)} iteration(s)")
@@ -592,6 +689,23 @@ def _print_serve_report(report, registry, machine_name: str, top: int) -> None:
         print(f"  {name:<56s} {s.value:>14,.0f}")
 
 
+def _write_request_traces(report, args: argparse.Namespace) -> None:
+    """Honor --request-trace / --request-trace-chrome for serve/loadgen."""
+    if not (args.request_trace or args.request_trace_chrome):
+        return
+    from repro.telemetry.tracing import spans_chrome_json, write_spans_jsonl
+
+    if args.request_trace:
+        write_spans_jsonl(report.trace_spans, args.request_trace)
+        print(f"request trace spans written to {args.request_trace} "
+              f"({len(report.trace_spans)} spans; inspect with "
+              f"'repro-lda profile --serve-trace {args.request_trace}')")
+    if args.request_trace_chrome:
+        with open(args.request_trace_chrome, "w") as fh:
+            fh.write(spans_chrome_json(report.trace_spans))
+        print(f"request chrome trace written to {args.request_trace_chrome}")
+
+
 def _write_service_metrics(registry, path: str | None) -> None:
     if not path:
         return
@@ -617,6 +731,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     report = service.run_trace(requests)
     _print_serve_report(report, registry, service.machine.name, args.top)
     _write_service_metrics(registry, args.metrics)
+    _write_request_traces(report, args)
     return 0
 
 
@@ -674,6 +789,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     report = service.run_trace(requests)
     _print_serve_report(report, registry, service.machine.name, args.top)
     _write_service_metrics(registry, args.metrics)
+    _write_request_traces(report, args)
     if args.chaos:
         from repro.serve import verify_report
 
@@ -695,6 +811,57 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print("error: smoke run lost requests (expected every request "
               "to complete)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        REGISTRY,
+        compare_snapshots,
+        format_deltas,
+        format_snapshot,
+        gate,
+        load_snapshot,
+        run_suite,
+        write_snapshot,
+    )
+
+    if args.list_scenarios:
+        import repro.obs.scenarios  # noqa: F401  (populates REGISTRY)
+
+        scenarios = REGISTRY.select(args.tier, args.only)
+        if not scenarios:
+            print("no scenarios match the selection", file=sys.stderr)
+            return 2
+        for s in scenarios:
+            print(f"{s.name:<36s} [{s.tier:<5s}] {s.description}")
+        return 0
+
+    try:
+        snapshot = run_suite(
+            tier=args.tier, only=args.only,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_snapshot(snapshot))
+    if args.out:
+        write_snapshot(snapshot, args.out)
+        print(f"\nsnapshot written to {args.out}")
+    if args.compare:
+        try:
+            baseline = load_snapshot(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        deltas = compare_snapshots(baseline, snapshot)
+        print()
+        print(f"comparison against {args.compare} "
+              f"(git {baseline.get('git_sha', '?')[:12]}):")
+        print(format_deltas(deltas, verbose=args.verbose))
+        if gate(deltas):
+            return 1
     return 0
 
 
@@ -745,6 +912,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_project(args)
 
 

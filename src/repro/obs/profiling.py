@@ -1,0 +1,69 @@
+"""Machine-readable profile reports (``repro-lda profile --format json``).
+
+One profile run emits one JSON document with schema ``repro-profile/1``::
+
+    {
+      "schema": "repro-profile/1",
+      "corpus": "…", "machine": "…",
+      "num_topics": K, "iterations": n,
+      "simulated_seconds": …, "wall_seconds": …,
+      "tokens_per_sec": …,                  # simulated-clock throughput
+      "breakdown": {"kernel": 0.71, …},     # fraction of simulated time
+      "device_busy": {"gpu0": 0.93, …},     # busy fraction per device
+      "counters": [{"name": …, "labels": {…}, "value": …}, …],
+      "faults": {"events": […], "rollbacks": n, "repartitions": n}
+    }
+
+The schema is append-only: new keys may appear in later versions, but
+existing keys keep their meaning, so downstream tooling can pin on
+``schema == "repro-profile/1"`` and read what it knows.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PROFILE_SCHEMA", "profile_json"]
+
+PROFILE_SCHEMA = "repro-profile/1"
+
+
+def profile_json(
+    result,
+    machine,
+    registry,
+    corpus_name: str,
+    num_topics: int,
+    top: int = 12,
+) -> dict:
+    """The ``--format json`` document for one instrumented training run."""
+    from repro.core.culda import BREAKDOWN_KINDS, _busy_fractions
+
+    breakdown = machine.trace.breakdown_fractions(BREAKDOWN_KINDS)
+    busy = _busy_fractions(
+        machine.trace.intervals,
+        [g.device_id for g in machine.gpus],
+        0.0,
+        machine.trace.makespan(),
+    )
+    return {
+        "schema": PROFILE_SCHEMA,
+        "corpus": corpus_name,
+        "machine": machine.name,
+        "num_topics": num_topics,
+        "iterations": len(result.iterations),
+        "simulated_seconds": result.total_sim_seconds,
+        "wall_seconds": result.wall_seconds,
+        "tokens_per_sec": result.avg_tokens_per_sec,
+        "breakdown": {
+            kind: breakdown.get(kind, 0.0) for kind in BREAKDOWN_KINDS
+        },
+        "device_busy": {f"gpu{dev}": busy[dev] for dev in sorted(busy)},
+        "counters": [
+            {"name": s.name, "labels": dict(s.labels), "value": s.value}
+            for s in registry.top_counters(top)
+        ],
+        "faults": {
+            "events": [dict(e) for e in result.fault_events],
+            "rollbacks": result.rollbacks,
+            "repartitions": result.repartitions,
+        },
+    }

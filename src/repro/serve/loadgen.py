@@ -94,6 +94,9 @@ def poisson_trace(
                 iterations=iterations,
                 deadline_seconds=deadline_seconds,
                 priority=priority,
+                # Explicit trace id, so a trace saved with --save-trace
+                # replays (repro-lda serve) to an identical span tree.
+                trace_id=f"lg{seed}-{len(requests):06d}",
             )
         )
     return requests
@@ -138,4 +141,6 @@ def write_trace_jsonl(requests: list[InferenceRequest], path: str | Path) -> Non
                 record["deadline"] = req.deadline_seconds
             if req.priority != 1:
                 record["priority"] = req.priority
+            if req.trace_id is not None:
+                record["trace"] = req.trace_id
             fh.write(json.dumps(record) + "\n")

@@ -114,12 +114,18 @@ def foldin_batch_cost(
 
 @dataclass
 class BatchExecution:
-    """Timing and payload of one dispatched batch."""
+    """Timing and payload of one dispatched batch.
+
+    ``stages`` carries the per-stage simulated intervals —
+    ``("staging" | "kernel" | "download", start, end)`` — that request
+    tracing (:mod:`repro.telemetry.tracing`) turns into child spans.
+    """
 
     results: list[InferenceResult]
     start: float
     end: float
     replica_id: int
+    stages: tuple[tuple[str, float, float], ...] = ()
 
 
 class PhiReplica:
@@ -252,7 +258,7 @@ class PhiReplica:
                     for req in batch
                 ]
 
-            _, _, results = KernelLaunch(
+            kernel_start, kernel_end, results = KernelLaunch(
                 fn=run_foldin,
                 cost=cost,
                 label=f"serve_batch[{batch_id}]",
@@ -264,12 +270,17 @@ class PhiReplica:
                 self.device, doc_topic.shape, np.float64,
                 fill=doc_topic, label=f"serve_out[{batch_id}]",
             )
-            _, end, _ = machine.memcpy_d2h(
+            d2h_start, end, _ = machine.memcpy_d2h(
                 out_buf, stream=self.stream, label="serve_result_d2h"
             )
             return BatchExecution(
                 results=list(results), start=start, end=end,
                 replica_id=self.replica_id,
+                stages=(
+                    ("staging", start, h2d_end),
+                    ("kernel", kernel_start, kernel_end),
+                    ("download", d2h_start, end),
+                ),
             )
         finally:
             if not token_buf.freed:

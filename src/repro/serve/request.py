@@ -90,6 +90,11 @@ class InferenceRequest:
         past its :class:`~repro.serve.resilience.DegradationPolicy`
         threshold, arrivals below ``shed_priority_below`` are rejected
         first (reason ``shed_low_priority``).
+    trace_id: end-to-end trace id for this request's span tree (see
+        :mod:`repro.telemetry.tracing`). ``None`` lets the service
+        derive a deterministic default from ``request_id``; loadgen
+        assigns explicit ids so a saved trace replays to an identical
+        span tree.
     """
 
     request_id: int
@@ -100,6 +105,7 @@ class InferenceRequest:
     iterations: int | None = None
     deadline_seconds: float | None = None
     priority: int = 1
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         docs = tuple(tuple(int(w) for w in d) for d in self.docs)
@@ -117,6 +123,8 @@ class InferenceRequest:
             raise ValueError("deadline_seconds must be positive")
         if self.priority < 0:
             raise ValueError("priority must be >= 0")
+        if self.trace_id is not None and not self.trace_id:
+            raise ValueError("trace_id must be a non-empty string or None")
 
     @property
     def num_docs(self) -> int:
@@ -132,7 +140,8 @@ class InferenceRequest:
 
         Recognized keys: ``docs`` (required), ``arrival`` (seconds,
         default 0), ``model`` (checkpoint path), ``seed``,
-        ``iterations``, ``deadline`` (seconds), ``priority``.
+        ``iterations``, ``deadline`` (seconds), ``priority``,
+        ``trace`` (trace id).
         """
         if "docs" not in data:
             raise ValueError(f"trace record {request_id} has no 'docs'")
@@ -149,6 +158,9 @@ class InferenceRequest:
                 float(data["deadline"]) if "deadline" in data else None
             ),
             priority=int(data.get("priority", 1)),
+            trace_id=(
+                str(data["trace"]) if data.get("trace") is not None else None
+            ),
         )
 
 

@@ -87,9 +87,11 @@ from repro.serve.resilience import (
     RolloutConfig,
     RolloutManager,
 )
+from repro.serve.replica import BatchExecution
 from repro.serve.scheduler import ReplicaScheduler
 from repro.telemetry.context import telemetry_session
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import TraceCollector, TraceSpan
 
 __all__ = ["ServiceConfig", "InferenceService", "ServiceReport"]
 
@@ -156,6 +158,8 @@ class ServiceReport:
     health_states: dict[int, str] = field(default_factory=dict)
     #: Final rollout summary (None when no rollout was active).
     rollout: dict | None = None
+    #: Every request's span tree (see :mod:`repro.telemetry.tracing`).
+    trace_spans: list[TraceSpan] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def count(self, status: str) -> int:
@@ -366,6 +370,71 @@ class InferenceService:
         #: min-heap of completion times for admitted-but-unfinished
         #: requests; admission bounds pending + in-flight against it.
         self._in_flight: list[float] = []
+        #: End-to-end request spans (every submitted request gets a
+        #: tree; see :mod:`repro.telemetry.tracing`).
+        self.tracer = TraceCollector()
+
+    # ------------------------------------------------------------------
+    # Request tracing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _trace_id(request: InferenceRequest) -> str:
+        return (
+            request.trace_id
+            if request.trace_id is not None
+            else f"req-{request.request_id}"
+        )
+
+    def _record_request_trace(
+        self,
+        request: InferenceRequest,
+        status: str,
+        end: float,
+        dispatch: float | None = None,
+        primary: BatchExecution | None = None,
+        hedge_exec: BatchExecution | None = None,
+        hedged: bool = False,
+        batch_id: int | None = None,
+        failovers: int = 0,
+    ) -> None:
+        """Record one submitted request's span tree.
+
+        *primary* is the first dispatch's execution, *hedge_exec* the
+        speculative duplicate (when one launched); ``hedged`` marks the
+        duplicate as the winner. Rejected / aged-out / failed requests
+        pass ``primary=None`` and keep a degenerate tree.
+        """
+        tid = self._trace_id(request)
+        winner = hedge_exec if hedged else primary
+        root = self.tracer.add(
+            tid, "request", request.arrival_time, end,
+            request_id=request.request_id,
+            status=status,
+            model=request.model_key,
+            replica=winner.replica_id if winner is not None else None,
+            batch_id=batch_id,
+            failovers=failovers or None,
+            hedged=hedged or None,
+        )
+        if dispatch is not None:
+            self.tracer.add(
+                tid, "queue", request.arrival_time, dispatch,
+                parent_id=root.span_id,
+            )
+        if primary is not None:
+            for name, start, stage_end in primary.stages:
+                self.tracer.add(
+                    tid, name, start, stage_end, parent_id=root.span_id,
+                    lane="primary", replica=primary.replica_id,
+                    won=not hedged,
+                )
+        if hedge_exec is not None:
+            for name, start, stage_end in hedge_exec.stages:
+                self.tracer.add(
+                    tid, name, start, stage_end, parent_id=root.span_id,
+                    lane="hedge", replica=hedge_exec.replica_id,
+                    won=hedged,
+                )
 
     # ------------------------------------------------------------------
     # Rolling model hot-swap
@@ -497,6 +566,7 @@ class InferenceService:
                 }
                 if self.rollout is not None else None
             ),
+            trace_spans=list(self.tracer.spans),
         )
         return report
 
@@ -514,6 +584,9 @@ class InferenceService:
             ("reason",),
         ).inc(reason=rejection.reason)
         self._mark("rejected")
+        self._record_request_trace(
+            request, "rejected", request.arrival_time
+        )
         results[request.request_id] = RequestResult(
             request=request, status="rejected", error=str(rejection)
         )
@@ -578,6 +651,9 @@ class InferenceService:
         for request in batch:
             self._mark("failed")
             self._observe_rollout(model_key, "failed", None, now)
+            self._record_request_trace(
+                request, "failed", now, dispatch=now, batch_id=batch_id,
+            )
             results[request.request_id] = RequestResult(
                 request=request, status="failed", error=error,
                 dispatch_time=now, batch_id=batch_id,
@@ -623,6 +699,9 @@ class InferenceService:
             if bad >= num_words:
                 self._mark("failed")
                 self._observe_rollout(model_key, "failed", None, now)
+                self._record_request_trace(
+                    request, "failed", now, dispatch=now, batch_id=batch_id,
+                )
                 results[request.request_id] = RequestResult(
                     request=request, status="failed",
                     dispatch_time=now, batch_id=batch_id,
@@ -637,6 +716,10 @@ class InferenceService:
                     request.request_id, deadline, now - request.arrival_time
                 )
                 self._mark("deadline_exceeded")
+                self._record_request_trace(
+                    request, "deadline_exceeded", now, dispatch=now,
+                    batch_id=batch_id,
+                )
                 results[request.request_id] = RequestResult(
                     request=request, status="deadline_exceeded",
                     dispatch_time=now, batch_id=batch_id, error=str(exc),
@@ -673,6 +756,8 @@ class InferenceService:
         # policy quantile of recent batches, speculatively duplicate it
         # on the next-best replica at the moment the timeout would fire
         # and keep whichever completes first (payloads are identical).
+        primary = execution
+        hedge_exec: BatchExecution | None = None
         hedged = False
         hedge = self.config.hedge
         if (
@@ -698,6 +783,7 @@ class InferenceService:
                     except FaultError:
                         pass  # primary still holds the payload
                     else:
+                        hedge_exec = alt_exec
                         if alt_uploaded:
                             self.registry.counter(
                                 "serve_phi_uploads_total",
@@ -745,7 +831,17 @@ class InferenceService:
                 "Arrival-to-dispatch wait.",
             ).observe(now - request.arrival_time)
             deadline = self._deadline_of(request)
-            if deadline is not None and latency > deadline:
+            status = (
+                "deadline_exceeded"
+                if deadline is not None and latency > deadline
+                else "completed"
+            )
+            self._record_request_trace(
+                request, status, execution.end, dispatch=now,
+                primary=primary, hedge_exec=hedge_exec, hedged=hedged,
+                batch_id=batch_id, failovers=outcome.failovers,
+            )
+            if status == "deadline_exceeded":
                 exc = DeadlineExceeded(request.request_id, deadline, latency)
                 self._mark("deadline_exceeded")
                 results[request.request_id] = RequestResult(

@@ -47,6 +47,16 @@ from repro.telemetry.registry import (
     Sample,
 )
 from repro.telemetry.spans import SPAN_KIND, Span, span
+from repro.telemetry.tracing import (
+    TRACE_SCHEMA,
+    TraceCollector,
+    TraceSpan,
+    format_serve_trace,
+    read_spans_jsonl,
+    spans_chrome_json,
+    summarize_traces,
+    write_spans_jsonl,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -65,6 +75,14 @@ __all__ = [
     "Span",
     "span",
     "SPAN_KIND",
+    "TRACE_SCHEMA",
+    "TraceSpan",
+    "TraceCollector",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "spans_chrome_json",
+    "summarize_traces",
+    "format_serve_trace",
     "TrainerCallback",
     "CallbackList",
     "ProgressLogger",

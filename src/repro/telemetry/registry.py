@@ -176,10 +176,20 @@ class Histogram(Metric):
         return float(np.sum(self._obs.get(self._key(labels), [])))
 
     def quantile(self, q: float, **labels: object) -> float:
-        """Exact quantile (linear interpolation) of the observations."""
+        """Exact quantile (linear interpolation) of the observations.
+
+        Degenerate histograms are well-defined rather than errors: with
+        no observations every quantile is NaN (callers render it as
+        "no data", and NaN propagates honestly through arithmetic);
+        with a single observation every quantile is that observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         obs = self._obs.get(self._key(labels))
         if not obs:
-            raise ValueError(f"histogram {self.name!r} has no observations")
+            return float("nan")
+        if len(obs) == 1:
+            return float(obs[0])
         return float(np.quantile(obs, q))
 
     def bucket_counts(self, **labels: object) -> list[tuple[float, int]]:

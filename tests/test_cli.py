@@ -457,3 +457,76 @@ class TestServeCli:
         ])
         assert rc == 2
         assert "invalid fault plan" in capsys.readouterr().err
+
+
+class TestRequestTracing:
+    """The --request-trace / --serve-trace / --format json surface."""
+
+    def test_loadgen_writes_request_trace(self, capsys, tmp_path,
+                                          serve_checkpoints):
+        spans = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "spans.json"
+        rc = main([
+            "loadgen", "--model", serve_checkpoints[0], "--smoke",
+            "--request-trace", str(spans),
+            "--request-trace-chrome", str(chrome),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "request trace spans written" in out
+        from repro.telemetry.tracing import read_spans_jsonl
+
+        parsed = read_spans_jsonl(spans)
+        assert any(s.name == "kernel" for s in parsed)
+        import json as _json
+
+        doc = _json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_profile_serve_trace_view(self, capsys, tmp_path,
+                                      serve_checkpoints):
+        spans = tmp_path / "spans.jsonl"
+        assert main([
+            "loadgen", "--model", serve_checkpoints[0], "--smoke",
+            "--request-trace", str(spans),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--serve-trace", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "queue" in out and "kernel" in out
+
+    def test_profile_serve_trace_unknown_id_is_an_error(
+        self, capsys, tmp_path, serve_checkpoints
+    ):
+        spans = tmp_path / "spans.jsonl"
+        assert main([
+            "loadgen", "--model", serve_checkpoints[0], "--smoke",
+            "--request-trace", str(spans),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "profile", "--serve-trace", str(spans),
+            "--trace-id", "nope",
+        ]) == 2
+        assert "no trace" in capsys.readouterr().err
+
+    def test_profile_trace_id_requires_serve_trace(self, capsys):
+        assert main(["profile", "--trace-id", "x"]) == 2
+        assert "--serve-trace" in capsys.readouterr().err
+
+    def test_profile_format_json_schema(self, capsys):
+        import json as _json
+
+        rc = main([
+            "profile", "--synthetic", "nytimes", "--tokens", "6000",
+            "--topics", "8", "--iterations", "2", "--platform", "pascal",
+            "--format", "json",
+        ])
+        assert rc == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-profile/1"
+        assert doc["iterations"] == 2
+        assert set(doc["breakdown"]) >= {"h2d", "d2h", "p2p"}
+        assert doc["device_busy"]
+        assert doc["counters"]

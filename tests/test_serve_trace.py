@@ -1,0 +1,296 @@
+"""Tests for end-to-end request tracing in the serving path.
+
+Every request flows admission → micro-batcher → scheduler → replica
+(→ hedge duplicate) → completion; the service must record that whole
+journey as one span tree under one trace id, exportable as JSONL and
+Chrome trace, and reconstructible as a critical-path breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serialization import load_model
+from repro.gpusim.platform import make_machine
+from repro.serve import (
+    HedgePolicy,
+    InferenceService,
+    ServiceConfig,
+    poisson_trace,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.serve.request import InferenceRequest
+from repro.telemetry.tracing import (
+    STAGE_NAMES,
+    TRACE_SCHEMA,
+    TraceCollector,
+    TraceSpan,
+    format_serve_trace,
+    read_spans_jsonl,
+    serve_trace_json,
+    spans_chrome_json,
+    summarize_traces,
+    write_spans_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def model_info(serve_checkpoints):
+    ckpt = load_model(serve_checkpoints[0])
+    return serve_checkpoints[0], int(ckpt.phi.shape[1])
+
+
+def run_loadgen(model_info, gpus=2, rate=2000.0, duration=0.02, seed=3,
+                config=None):
+    path, num_words = model_info
+    trace = poisson_trace([path], num_words, rate=rate, duration=duration,
+                          seed=seed)
+    service = InferenceService(
+        make_machine("pascal", gpus), config or ServiceConfig()
+    )
+    return service.run_trace(trace), trace
+
+
+# ----------------------------------------------------------------------
+# Collector / span model (unit)
+# ----------------------------------------------------------------------
+class TestTraceCollector:
+    def test_span_ids_deterministic_per_trace(self):
+        c = TraceCollector()
+        a = c.add("t1", "request", 0.0, 1.0)
+        b = c.add("t1", "queue", 0.0, 0.5, parent_id=a.span_id)
+        other = c.add("t2", "request", 0.0, 1.0)
+        assert (a.span_id, b.span_id) == ("s0", "s1")
+        assert other.span_id == "s0"  # per-trace sequence
+
+    def test_none_attrs_dropped(self):
+        c = TraceCollector()
+        s = c.add("t", "request", 0.0, 1.0, status="completed",
+                  batch_id=None)
+        assert s.attrs == {"status": "completed"}
+
+    def test_record_round_trip(self):
+        s = TraceSpan("t", "s0", "kernel", 1.0, 2.0, parent_id="s9",
+                      attrs={"lane": "primary"})
+        record = s.to_dict()
+        assert record["schema"] == TRACE_SCHEMA
+        assert TraceSpan.from_dict(record) == s
+
+    def test_from_dict_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing"):
+            TraceSpan.from_dict({"trace": "t", "span": "s0"})
+
+    def test_jsonl_round_trip(self, tmp_path):
+        c = TraceCollector()
+        root = c.add("t", "request", 0.0, 2.0, status="completed")
+        c.add("t", "queue", 0.0, 1.0, parent_id=root.span_id)
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(c.spans, path)
+        assert read_spans_jsonl(path) == c.spans
+
+
+# ----------------------------------------------------------------------
+# Service integration: every request gets a linked span tree
+# ----------------------------------------------------------------------
+class TestServiceTracing:
+    @pytest.fixture(scope="class")
+    def traced_run(self, model_info):
+        return run_loadgen(model_info)
+
+    def test_every_request_has_a_root_span(self, traced_run):
+        report, trace = traced_run
+        roots = [s for s in report.trace_spans if s.name == "request"]
+        assert len(roots) == len(trace)
+        assert {s.attrs["request_id"] for s in roots} == {
+            r.request_id for r in trace
+        }
+
+    def test_stage_spans_link_to_root_by_one_trace_id(self, traced_run):
+        report, _ = traced_run
+        by_trace: dict[str, list[TraceSpan]] = {}
+        for s in report.trace_spans:
+            by_trace.setdefault(s.trace_id, []).append(s)
+        completed = [
+            spans for spans in by_trace.values()
+            if any(s.name == "request"
+                   and s.attrs.get("status") == "completed"
+                   for s in spans)
+        ]
+        assert completed
+        for spans in completed:
+            root = next(s for s in spans if s.name == "request")
+            names = {s.name for s in spans}
+            assert {"queue", "staging", "kernel", "download"} <= names
+            for child in spans:
+                if child is not root:
+                    assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+
+    def test_stage_spans_nest_inside_the_root(self, traced_run):
+        report, _ = traced_run
+        roots = {
+            s.trace_id: s for s in report.trace_spans if s.name == "request"
+        }
+        eps = 1e-12
+        for s in report.trace_spans:
+            root = roots[s.trace_id]
+            if s.attrs.get("status") == "deadline_exceeded":
+                continue  # execution may finish after the deadline cutoff
+            assert s.start >= root.start - eps
+            assert s.end <= root.end + eps
+
+    def test_latency_matches_report(self, traced_run):
+        report, _ = traced_run
+        summaries = {s.trace_id: s for s in summarize_traces(report.trace_spans)}
+        for r in report.results:
+            if r.status != "completed":
+                continue
+            tid = f"req-{r.request_id}" if r.request.trace_id is None \
+                else r.request.trace_id
+            assert summaries[tid].latency == pytest.approx(r.latency)
+
+    def test_client_supplied_trace_id_wins(self, model_info):
+        path, num_words = model_info
+        req = InferenceRequest(
+            request_id=0, arrival_time=0.0, model_key=path,
+            docs=[[0, 1, 2]], trace_id="client-abc",
+        )
+        service = InferenceService(make_machine("pascal", 1), ServiceConfig())
+        report = service.run_trace([req])
+        assert {s.trace_id for s in report.trace_spans} == {"client-abc"}
+
+    def test_rejected_requests_keep_a_degenerate_tree(self, model_info):
+        path, num_words = model_info
+        trace = poisson_trace([path], num_words, rate=50_000, duration=0.005,
+                              seed=1)
+        service = InferenceService(
+            make_machine("pascal", 1), ServiceConfig(max_queue=4)
+        )
+        report = service.run_trace(trace)
+        assert report.count("rejected") > 0
+        statuses = {
+            s.trace_id: s.attrs.get("status")
+            for s in report.trace_spans if s.name == "request"
+        }
+        assert len(statuses) == len(trace)
+        assert "rejected" in statuses.values()
+
+
+# ----------------------------------------------------------------------
+# Hedging: both lanes recorded, exactly one wins
+# ----------------------------------------------------------------------
+class TestHedgeTracing:
+    @pytest.fixture(scope="class")
+    def hedged_run(self, model_info):
+        config = ServiceConfig(
+            max_batch_size=4, max_wait_seconds=1e-3, max_queue=512,
+            iterations=3,
+            hedge=HedgePolicy(quantile=0.5, min_observations=4),
+        )
+        return run_loadgen(model_info, gpus=2, rate=3000, duration=0.03,
+                           seed=13, config=config)
+
+    def test_hedge_lane_spans_share_the_trace_id(self, hedged_run):
+        report, _ = hedged_run
+        assert report.hedges > 0
+        by_trace: dict[str, list[TraceSpan]] = {}
+        for s in report.trace_spans:
+            by_trace.setdefault(s.trace_id, []).append(s)
+        hedged = [
+            spans for spans in by_trace.values()
+            if any(s.attrs.get("lane") == "hedge" for s in spans)
+        ]
+        assert hedged
+        for spans in hedged:
+            root = next(s for s in spans if s.name == "request")
+            lanes = {s.attrs.get("lane") for s in spans if s.name == "kernel"}
+            assert lanes == {"primary", "hedge"}
+            for s in spans:
+                assert s.trace_id == root.trace_id
+
+    def test_exactly_one_lane_wins(self, hedged_run):
+        report, _ = hedged_run
+        for summary in summarize_traces(report.trace_spans):
+            if summary.hedge_replica is None:
+                continue
+            # `hedged` on the root marks the winning lane.
+            root_hedged = summary.hedged
+            assert summary.hedge_won == root_hedged
+
+
+# ----------------------------------------------------------------------
+# Replay: same arrival trace + ids → identical trace trees
+# ----------------------------------------------------------------------
+class TestReplay:
+    def test_saved_trace_replays_to_identical_trees(self, model_info, tmp_path):
+        path, num_words = model_info
+        requests = poisson_trace([path], num_words, rate=2000,
+                                 duration=0.02, seed=7)
+        assert all(r.trace_id for r in requests)
+
+        trace_file = tmp_path / "requests.jsonl"
+        write_trace_jsonl(requests, trace_file)
+        replayed = read_trace_jsonl(trace_file, default_model=path)
+        assert [r.trace_id for r in replayed] == [
+            r.trace_id for r in requests
+        ]
+
+        def run(reqs):
+            service = InferenceService(
+                make_machine("pascal", 2), ServiceConfig()
+            )
+            return service.run_trace(reqs).trace_spans
+
+        assert run(requests) == run(replayed)
+
+
+# ----------------------------------------------------------------------
+# Exports + terminal view
+# ----------------------------------------------------------------------
+class TestExports:
+    @pytest.fixture(scope="class")
+    def spans(self, model_info):
+        report, _ = run_loadgen(model_info)
+        return report.trace_spans
+
+    def test_chrome_export_one_row_per_trace(self, spans):
+        doc = json.loads(spans_chrome_json(spans))
+        events = doc["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        rows = [e for e in events if e["ph"] == "M"
+                and e["name"] == "thread_name"]
+        assert len(slices) == len(spans)
+        assert {e["args"]["name"] for e in rows} == {
+            s.trace_id for s in spans
+        }
+        for e in slices:
+            assert e["dur"] >= 0
+            assert e["args"]["trace"]
+
+    def test_format_serve_trace_shows_critical_path(self, spans):
+        text = format_serve_trace(spans)
+        assert "critical path" in text
+        for stage in STAGE_NAMES:
+            assert stage in text
+
+    def test_format_serve_trace_picks_requested_trace(self, spans):
+        tid = spans[0].trace_id
+        text = format_serve_trace(spans, trace_id=tid)
+        assert f"trace {tid}" in text
+
+    def test_serve_trace_json_schema(self, spans):
+        doc = serve_trace_json(spans)
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["traces"] == len({s.trace_id for s in spans})
+        assert doc["spans"] == len(spans)
+        for req in doc["requests"]:
+            assert set(req["stages_seconds"]) == set(STAGE_NAMES)
+
+    def test_summary_stages_account_for_latency(self, spans):
+        for s in summarize_traces(spans):
+            if s.status != "completed":
+                continue
+            assert s.accounted <= s.latency + 1e-9

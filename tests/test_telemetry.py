@@ -8,6 +8,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.telemetry import (
     BestPhiCheckpointer,
@@ -106,11 +108,44 @@ class TestHistogram:
         assert h.quantile(0.0) == 1.0
         assert h.quantile(1.0) == 100.0
 
-    def test_quantile_without_observations_raises(self):
+    def test_quantile_without_observations_is_nan(self):
         reg = MetricsRegistry()
         h = reg.histogram("lat_seconds")
-        with pytest.raises(ValueError, match="no observations"):
-            h.quantile(0.5)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert math.isnan(h.quantile(q))
+
+    def test_quantile_single_observation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds")
+        h.observe(0.042)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.042
+
+    def test_quantile_out_of_range_raises(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(-0.1)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-9, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        )
+    )
+    def test_quantiles_match_numpy_percentile(self, values):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds")
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(
+                float(np.percentile(values, 100.0 * q)), rel=1e-9
+            )
 
     def test_bucket_counts_are_cumulative(self):
         reg = MetricsRegistry()
