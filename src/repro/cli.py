@@ -92,6 +92,24 @@ def _nonneg_int(text: str) -> int:
     return value
 
 
+def _add_sync_arg(p: argparse.ArgumentParser) -> None:
+    """The ``--sync`` flag shared by train and profile.
+
+    Choices come straight from the collective registry (plus ``auto``),
+    so registering a new collective surfaces it in every subcommand
+    without touching a hand-kept tuple here.
+    """
+    from repro.comm import sync_choices
+
+    choices = sync_choices()
+    p.add_argument(
+        "--sync", choices=choices, default="auto",
+        help="model-sync collective: 'auto' (default) lets the "
+        "topology-aware planner pick the cheapest per iteration; "
+        "forcing one of " + ", ".join(choices[1:]) + " pins that plan "
+        "(see docs/SYNC.md)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lda",
@@ -132,8 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--likelihood-every", type=_nonneg_int, default=0)
     t.add_argument("--no-compression", action="store_true",
                    help="disable 16-bit compression (§6.1.3)")
-    t.add_argument("--sync", choices=("gpu_tree", "ring", "cpu_gather"),
-                   default="gpu_tree")
+    _add_sync_arg(t)
     t.add_argument("--save", metavar="FILE", help="write model checkpoint")
     t.add_argument("--save-every", type=_nonneg_int, default=0, metavar="N",
                    help="write a full run-state checkpoint to --save FILE "
@@ -170,8 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--iterations", type=_positive_int, default=5)
     pr.add_argument("--platform", choices=PLATFORMS, default="volta")
     pr.add_argument("--gpus", type=_positive_int, default=1)
-    pr.add_argument("--sync", choices=("gpu_tree", "ring", "cpu_gather"),
-                    default="gpu_tree")
+    _add_sync_arg(pr)
     pr.add_argument("--likelihood-every", type=_nonneg_int, default=0)
     pr.add_argument("--faults", metavar="PLAN.json",
                     help="inject the faults described in a JSON fault plan")
@@ -574,6 +590,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         name = f"{s.name}{{{label_s}}}" if label_s else s.name
         print(f"  {name:<56s} {s.value:>14,.0f}")
     print()
+
+    from repro.comm import decisions_from_registry
+
+    decisions = decisions_from_registry(registry)
+    if decisions:
+        print("sync planner decisions:")
+        for d in decisions:
+            mode = "forced" if d["forced"] else "auto"
+            line = (f"  {d['algorithm']:<14s} on {d['topology']:<18s} "
+                    f"x{d['count']:<4d} ({mode}")
+            if "predicted_seconds" in d:
+                line += f", predicted {d['predicted_seconds'] * 1e6:.1f} us"
+            print(line + ")")
+        print()
 
     if result.fault_events:
         print(f"fault events ({len(result.fault_events)} injected, "

@@ -7,10 +7,11 @@ the cluster). Every iteration each worker
 - **pulls** the φ rows for the words its partition contains, and
 - **pushes** its count deltas for those words,
 
-each message timed on the sender's/receiver's Ethernet links. The
-functional content (the actual counts) is exact; staleness appears only
-through the iteration-granular sync, the same delayed-update semantics
-as the GPU trainer.
+each message timed on the sender's/receiver's Ethernet links via the
+shared fan helpers in :mod:`repro.comm.transfer`. The functional
+content (the actual counts) is exact; staleness appears only through
+the iteration-granular sync, the same delayed-update semantics as the
+GPU trainer.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.network import ClusterNetwork
+from repro.comm import fanin_messages, fanout_messages
 
 __all__ = ["ShardedParameterServer"]
 
@@ -55,14 +57,16 @@ class ShardedParameterServer:
         ``K × |words_in_shard| × entry_bytes``.
         """
         K = self.phi.shape[0]
-        done = earliest
-        for shard, count in enumerate(self._traffic_split(words)):
-            if count == 0:
-                continue
-            nbytes = float(K) * int(count) * entry_bytes + K * 8
-            self.bytes_pulled += nbytes
-            _, end = self.network.send(shard, worker, nbytes, earliest)
-            done = max(done, end)
+        total, done = fanin_messages(
+            self.network, worker,
+            (
+                (shard, float(K) * int(count) * entry_bytes + K * 8)
+                for shard, count in enumerate(self._traffic_split(words))
+                if count
+            ),
+            earliest, op="ps_pull",
+        )
+        self.bytes_pulled += total
         return self.phi[:, words].copy(), done
 
     def push(
@@ -80,14 +84,16 @@ class ShardedParameterServer:
         if delta.shape != (self.phi.shape[0], words.size):
             raise ValueError("delta must be (K, |words|)")
         K = self.phi.shape[0]
-        done = earliest
-        for shard, count in enumerate(self._traffic_split(words)):
-            if count == 0:
-                continue
-            nbytes = float(K) * int(count) * entry_bytes
-            self.bytes_pushed += nbytes
-            _, end = self.network.send(worker, shard, nbytes, earliest)
-            done = max(done, end)
+        total, done = fanout_messages(
+            self.network, worker,
+            (
+                (shard, float(K) * int(count) * entry_bytes)
+                for shard, count in enumerate(self._traffic_split(words))
+                if count
+            ),
+            earliest, op="ps_push",
+        )
+        self.bytes_pushed += total
         self.phi[:, words] += delta
         return done
 

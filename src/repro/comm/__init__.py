@@ -1,0 +1,83 @@
+"""Pluggable collective-communication layer with a topology-aware planner.
+
+``repro.comm`` owns everything that moves φ between devices:
+
+- :mod:`~repro.comm.topology` — immutable fabric snapshots
+  (:class:`Topology`, :class:`LinkInfo`) derived from a simulated
+  machine or cluster network;
+- :mod:`~repro.comm.transfer` — the retry/host-fallback policy
+  (:class:`TransferRetry`, :func:`with_retry`, :func:`resilient_p2p`)
+  and the parameter-server message helpers;
+- :mod:`~repro.comm.collectives` — the executable sync algorithms
+  (tree, ring, cpu_gather, hierarchical) behind the
+  :class:`Collective` interface, each with a cost ``estimate``,
+  in an ordered registry;
+- :mod:`~repro.comm.planner` — the :class:`SyncPlanner` that resolves
+  ``--sync auto`` into the cheapest feasible collective per
+  (topology, payload, alive-GPU set).
+
+Consumers — the training engine's sync phase, the serving φ
+re-broadcast, the cluster parameter server — go through this package;
+none of them dispatches on algorithm names themselves. See
+``docs/SYNC.md`` for the planner design and decision tables.
+"""
+
+from repro.comm.collectives import (
+    Collective,
+    CostEstimate,
+    SyncContext,
+    broadcast_phi,
+    collective_names,
+    collectives,
+    cpu_gather_sync,
+    get_collective,
+    hierarchical_allreduce_phi,
+    reduce_phi_tree,
+    register,
+    ring_allreduce_phi,
+)
+from repro.comm.planner import (
+    AUTO,
+    SyncPlan,
+    SyncPlanner,
+    decisions_from_registry,
+    plan_sync,
+    sync_choices,
+)
+from repro.comm.topology import NVLINK_CLASS_GBPS, LinkInfo, Topology
+from repro.comm.transfer import (
+    TransferRetry,
+    fanin_messages,
+    fanout_messages,
+    resilient_p2p,
+    with_retry,
+)
+
+__all__ = [
+    "AUTO",
+    "Collective",
+    "CostEstimate",
+    "LinkInfo",
+    "NVLINK_CLASS_GBPS",
+    "SyncContext",
+    "SyncPlan",
+    "SyncPlanner",
+    "Topology",
+    "TransferRetry",
+    "broadcast_phi",
+    "collective_names",
+    "collectives",
+    "cpu_gather_sync",
+    "decisions_from_registry",
+    "fanin_messages",
+    "fanout_messages",
+    "get_collective",
+    "hierarchical_allreduce_phi",
+    "plan_sync",
+    "reduce_phi_tree",
+    "register",
+    "resilient_p2p",
+    "ring_allreduce_phi",
+    "sync_choices",
+    "with_retry",
+]

@@ -1,0 +1,224 @@
+"""Fault-aware transfer primitives shared by every collective.
+
+This module owns the retry/fallback policy that PR 3 introduced for
+sync transfers (:class:`TransferRetry`), the retry loop itself
+(:func:`with_retry`), and the degraded host re-route for peer copies
+(:func:`resilient_p2p`). All collectives — tree, ring, cpu_gather,
+hierarchical — and the serving φ re-broadcast funnel their link
+operations through here, which is what lets them surface one uniform,
+structured :class:`~repro.gpusim.errors.SyncPathError` naming the dead
+link and the endpoint devices when a topology has no usable path,
+instead of a bare mid-transfer ``LinkDown`` whose shape depends on the
+algorithm.
+
+The cluster helpers at the bottom (:func:`fanin_messages`,
+:func:`fanout_messages`) time the sharded parameter-server exchange of
+the LDA* baseline over Ethernet links, deduplicating the per-site
+send loops that used to live in :mod:`repro.cluster.paramserver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
+
+from repro.gpusim.errors import LinkDown, SyncPathError
+from repro.gpusim.memory import DeviceArray
+from repro.gpusim.platform import Machine
+from repro.gpusim.stream import Stream
+from repro.telemetry.context import emit_counter
+
+__all__ = [
+    "TransferRetry",
+    "with_retry",
+    "resilient_p2p",
+    "fanin_messages",
+    "fanout_messages",
+]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class TransferRetry:
+    """Retry policy for link transfers during synchronization.
+
+    When a transfer raises :class:`~repro.gpusim.errors.LinkDown`, it is
+    retried up to ``max_retries`` times; each retry charges an
+    exponentially growing backoff stall (``backoff_seconds`` doubling per
+    attempt) on the issuing stream. If a *peer* link stays down past the
+    retry budget and ``host_fallback`` is set, the copy is re-routed
+    through host memory (d2h on the sender + h2d on the receiver — the
+    degraded CPU-gather path of §5.2), itself retried. ``None`` anywhere
+    a ``retry`` parameter is accepted means fail fast (seed behaviour).
+    """
+
+    max_retries: int = 3
+    backoff_seconds: float = 1e-4
+    host_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_seconds <= 0:
+            raise ValueError("backoff_seconds must be positive")
+
+    @property
+    def backoff_total_seconds(self) -> float:
+        """Worst-case stall charged before the budget is exhausted
+        (``backoff · (2^max_retries − 1)``); the planner prices this
+        into any path that must outlast a permanently down link."""
+        return self.backoff_seconds * (2.0 ** self.max_retries - 1.0)
+
+
+def _path_error(
+    exc: LinkDown, op: str, devices: tuple[int, ...]
+) -> SyncPathError:
+    return SyncPathError(
+        exc.link_name, op, devices=devices, transient=exc.transient
+    )
+
+
+def with_retry(
+    op: Callable[[], _T],
+    stream: Stream,
+    label: str,
+    retry: TransferRetry | None,
+    devices: tuple[int, ...] = (),
+) -> _T:
+    """Run *op*, retrying on LinkDown with backoff charged to *stream*.
+
+    A failure that exhausts the budget (or any failure with no *retry*
+    policy) is re-raised as a structured
+    :class:`~repro.gpusim.errors.SyncPathError` naming the link, the
+    operation *label*, and the endpoint *devices*.
+    """
+    if retry is None:
+        try:
+            return op()
+        except SyncPathError:
+            raise
+        except LinkDown as exc:
+            raise _path_error(exc, label, devices) from exc
+    backoff = retry.backoff_seconds
+    for attempt in range(retry.max_retries + 1):
+        try:
+            return op()
+        except SyncPathError:
+            raise
+        except LinkDown as exc:
+            if attempt == retry.max_retries:
+                raise _path_error(exc, label, devices) from exc
+            emit_counter(
+                "transfer_retries_total", 1,
+                help="link transfers retried after a transient failure",
+                link=exc.link_name, op=label,
+            )
+            stream.enqueue(
+                duration=backoff, kind="stall", label=f"retry_backoff:{label}"
+            )
+            backoff *= 2.0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def resilient_p2p(
+    machine: Machine,
+    dst: DeviceArray,
+    src: DeviceArray,
+    dst_stream: Stream,
+    src_stream: Stream,
+    label: str,
+    retry: TransferRetry | None,
+) -> tuple[float, float]:
+    """P2P copy with retry and, when the peer link stays down, a degraded
+    re-route through host memory (the paper's rejected gather path,
+    pressed into service as a fault-tolerance fallback)."""
+    devices = (src.device.device_id, dst.device.device_id)
+    try:
+        return with_retry(
+            lambda: machine.memcpy_p2p(dst, src, stream=dst_stream, label=label),
+            dst_stream, label, retry, devices=devices,
+        )
+    except LinkDown as exc:
+        if retry is None or not retry.host_fallback:
+            raise
+        emit_counter(
+            "degraded_sync_total", 1,
+            help="p2p transfers re-routed through host memory",
+            link=exc.link_name, op=label,
+        )
+        _, _, host = with_retry(
+            lambda: machine.memcpy_d2h(
+                src, stream=src_stream, label=f"{label}_via_host_d2h",
+                pinned=False,
+            ),
+            src_stream, f"{label}_via_host_d2h", retry,
+            devices=(src.device.device_id,),
+        )
+        staged = src_stream.record(label=f"{label}_staged")
+        dst_stream.wait_event(staged)
+        return with_retry(
+            lambda: machine.memcpy_h2d(
+                dst, host, stream=dst_stream, label=f"{label}_via_host_h2d",
+                pinned=False,
+            ),
+            dst_stream, f"{label}_via_host_h2d", retry,
+            devices=(dst.device.device_id,),
+        )
+
+
+# ----------------------------------------------------------------------
+# Cluster (parameter-server) message helpers
+# ----------------------------------------------------------------------
+
+def fanin_messages(
+    network,
+    dst: int,
+    per_src_bytes: Iterable[tuple[int, float]],
+    earliest: float,
+    op: str,
+) -> tuple[float, float]:
+    """Time one message from each ``(src, nbytes)`` to node *dst*.
+
+    Returns ``(total_bytes, completion_time)``; completion is when the
+    last message lands. Used for the parameter-server *pull* (every
+    shard node sends its φ rows to one worker).
+    """
+    total = 0.0
+    done = earliest
+    for src, nbytes in per_src_bytes:
+        total += nbytes
+        _, end = network.send(src, dst, nbytes, earliest)
+        done = max(done, end)
+        emit_counter(
+            "cluster_bytes_total", nbytes,
+            help="parameter-server bytes moved per operation",
+            op=op,
+        )
+    return total, done
+
+
+def fanout_messages(
+    network,
+    src: int,
+    per_dst_bytes: Iterable[tuple[int, float]],
+    earliest: float,
+    op: str,
+) -> tuple[float, float]:
+    """Time one message from node *src* to each ``(dst, nbytes)``.
+
+    Returns ``(total_bytes, completion_time)``. Used for the
+    parameter-server *push* (one worker sends its Δφ to every shard).
+    """
+    total = 0.0
+    done = earliest
+    for dst, nbytes in per_dst_bytes:
+        total += nbytes
+        _, end = network.send(src, dst, nbytes, earliest)
+        done = max(done, end)
+        emit_counter(
+            "cluster_bytes_total", nbytes,
+            help="parameter-server bytes moved per operation",
+            op=op,
+        )
+    return total, done

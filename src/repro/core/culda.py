@@ -99,7 +99,7 @@ class TrainConfig:
     tree_fanout: int = 32
     # Scheduling.
     chunks_per_gpu: int | None = None   # None → smallest M that fits (§5.1)
-    sync_algorithm: str = "gpu_tree"    # or "ring" / "cpu_gather"
+    sync_algorithm: str = "auto"        # planner picks; or any registered collective
     overlap_transfers: bool = True
     # Analysis.
     likelihood_every: int = 0           # 0 = only at the end

@@ -8,7 +8,7 @@ iteration, selected by :attr:`RecoveryPolicy.mode`:
   validation, no snapshots.
 - ``"retry"`` — transient link faults are retried with exponential
   backoff inside the sync algorithms (see
-  :class:`~repro.sched.sync.TransferRetry`); after every iteration the
+  :class:`~repro.comm.TransferRetry`); after every iteration the
   sampler state is validated (:func:`validate_state`) and, on a
   violation or a detected kernel/link fault, rolled back to the last
   known-good in-memory snapshot and re-run — up to
@@ -113,11 +113,11 @@ class RecoveryPolicy:
         return self.mode != "none"
 
     def transfer_retry(self):
-        """The :class:`~repro.sched.sync.TransferRetry` to hand to the
+        """The :class:`~repro.comm.TransferRetry` to hand to the
         sync layer, or None for mode ``"none"``."""
         if not self.active:
             return None
-        from repro.sched.sync import TransferRetry
+        from repro.comm import TransferRetry
 
         return TransferRetry(
             max_retries=self.max_transfer_retries,

@@ -15,7 +15,13 @@ fault-plan machinery layered on top of it.
 
 from __future__ import annotations
 
-__all__ = ["FaultError", "DeviceLost", "LinkDown", "KernelFault"]
+__all__ = [
+    "FaultError",
+    "DeviceLost",
+    "LinkDown",
+    "SyncPathError",
+    "KernelFault",
+]
 
 
 class FaultError(RuntimeError):
@@ -50,6 +56,49 @@ class LinkDown(FaultError):
         self.transient = bool(transient)
         kind = "transient failure on" if transient else "down:"
         super().__init__(message or f"link {kind} {link_name} (simulated)")
+
+
+class SyncPathError(LinkDown):
+    """A collective operation found no usable path for a transfer.
+
+    Raised by the communication layer (:mod:`repro.comm`) when a
+    transfer exhausts its retry budget — or has none — on a down link,
+    so every collective (tree, ring, cpu_gather, hierarchical) surfaces
+    the *same* structured error naming the dead link, the operation,
+    and the endpoint devices, instead of a bare mid-transfer
+    :class:`LinkDown` whose context depends on the algorithm.
+
+    Subclasses :class:`LinkDown` so existing handlers (recovery
+    policies, fault tests) keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        link_name: str,
+        op: str,
+        devices: tuple[int, ...] = (),
+        transient: bool = False,
+        message: str | None = None,
+    ):
+        self.op = str(op)
+        self.devices = tuple(int(d) for d in devices)
+        if len(self.devices) >= 2:
+            where = " between devices " + "->".join(
+                str(d) for d in self.devices
+            )
+        elif self.devices:
+            where = f" on device {self.devices[0]}"
+        else:
+            where = ""
+        super().__init__(
+            link_name,
+            message
+            or (
+                f"no usable path for {self.op}{where}: "
+                f"link {link_name} is down (simulated)"
+            ),
+            transient=transient,
+        )
 
 
 class KernelFault(FaultError):

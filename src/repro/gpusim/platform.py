@@ -285,6 +285,14 @@ class Machine:
     # ------------------------------------------------------------------
     # Links
     # ------------------------------------------------------------------
+    def socket_of(self, device_id: int) -> int:
+        """Which host socket (root complex) GPU *device_id* hangs off.
+
+        GPUs sharing a socket also share a PCIe uplink and talk P2P at
+        switch speed; cross-socket traffic crosses the (slower) bridge.
+        """
+        return self._socket_of(device_id)
+
     def p2p_link(self, a: int, b: int) -> Link:
         """The peer-to-peer link between GPUs *a* and *b*."""
         if a == b:

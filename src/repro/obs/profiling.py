@@ -11,7 +11,9 @@ One profile run emits one JSON document with schema ``repro-profile/1``::
       "breakdown": {"kernel": 0.71, …},     # fraction of simulated time
       "device_busy": {"gpu0": 0.93, …},     # busy fraction per device
       "counters": [{"name": …, "labels": {…}, "value": …}, …],
-      "faults": {"events": […], "rollbacks": n, "repartitions": n}
+      "faults": {"events": […], "rollbacks": n, "repartitions": n},
+      "sync_planner": [{"algorithm": …, "topology": …, "forced": bool,
+                        "count": n, "predicted_seconds": …}, …]
     }
 
 The schema is append-only: new keys may appear in later versions, but
@@ -35,6 +37,7 @@ def profile_json(
     top: int = 12,
 ) -> dict:
     """The ``--format json`` document for one instrumented training run."""
+    from repro.comm import decisions_from_registry
     from repro.core.culda import BREAKDOWN_KINDS, _busy_fractions
 
     breakdown = machine.trace.breakdown_fractions(BREAKDOWN_KINDS)
@@ -66,4 +69,5 @@ def profile_json(
             "rollbacks": result.rollbacks,
             "repartitions": result.repartitions,
         },
+        "sync_planner": decisions_from_registry(registry),
     }

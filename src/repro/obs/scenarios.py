@@ -6,7 +6,9 @@ with every scenario ``repro-lda bench`` can run. Four groups:
 - **train** — simulated-clock throughput of all five trainers (CuLDA
   plus the four baselines), deterministic to the bit.
 - **sync** — multi-GPU model synchronization: bytes on the wire and
-  reduce-step times per topology (tree / ring / cpu-gather).
+  reduce-step times per topology (tree / ring / cpu-gather), plus
+  planner scenarios pitting ``--sync auto`` against the forced
+  reduce-tree on PCIe and NVLink fabrics (see ``docs/SYNC.md``).
 - **serve** — end-to-end serving latency from a seeded loadgen trace,
   including a chaos + hedging scenario (failover/hedge overhead).
 - **kernel** — real wall-clock of the NumPy hot paths (the vectorized
@@ -148,6 +150,71 @@ def _culda_4gpu_ring() -> dict:
 )
 def _culda_4gpu_cpu_gather() -> dict:
     return _culda_4gpu("cpu_gather")
+
+
+def _planner_run(platform: str, sync: str):
+    from repro.telemetry import MetricsRegistry
+
+    corpus = make_corpus("pubmed", tokens=60_000, seed=1, vocab_cap=2_048)
+    registry = MetricsRegistry()
+    trainer = make_culda(
+        corpus, platform=platform, gpus=4, registry=registry,
+        num_topics=64, iterations=4, seed=0, chunks_per_gpu=1,
+        sync_algorithm=sync,
+    )
+    result = trainer.train()
+    comm_seconds = sum(
+        iv.duration for iv in trainer.machine.trace.intervals
+        if iv.kind in ("sync", "p2p")
+    )
+    return result, registry, comm_seconds
+
+
+def _planner_metrics(platform: str) -> dict:
+    """Auto (planner-chosen) vs forced reduce-tree sync on one topology.
+
+    ``planner_decision`` records which collective the planner picked as
+    an index into :func:`repro.comm.collective_names` — ``info``
+    direction, so a changed pick surfaces as drift, not a gate failure.
+    ``tree_*`` metrics are info too: the forced-tree run is the
+    reference line, not a quantity to be gated on its own.
+    """
+    from repro.comm import collective_names, decisions_from_registry
+
+    auto, registry, auto_comm = _planner_run(platform, "auto")
+    tree, _, tree_comm = _planner_run(platform, "gpu_tree")
+    decisions = decisions_from_registry(registry)
+    pick = decisions[0]["algorithm"] if decisions else "gpu_tree"
+    return {
+        "auto_sim_seconds": _exact(auto.total_sim_seconds, "s", "lower"),
+        "tree_sim_seconds": _exact(tree.total_sim_seconds, "s", "info"),
+        "auto_comm_seconds": _exact(auto_comm, "s", "lower"),
+        "tree_comm_seconds": _exact(tree_comm, "s", "info"),
+        "planner_decision": _exact(
+            collective_names().index(pick), "enum", "info"
+        ),
+        **_sync_metrics(registry),
+    }
+
+
+@REGISTRY.scenario(
+    "sync/planner_pascal_4gpu", "sync",
+    "Sync planner on 4 Pascal GPUs (dual-socket PCIe): auto vs forced tree",
+    corpus="pubmed", tokens=60_000, topics=64, iterations=4,
+    platform="pascal", gpus=4, sync="auto",
+)
+def _planner_pascal() -> dict:
+    return _planner_metrics("pascal")
+
+
+@REGISTRY.scenario(
+    "sync/planner_dgx_4gpu", "sync",
+    "Sync planner on 4 DGX GPUs (all-NVLink): auto vs forced tree",
+    corpus="pubmed", tokens=60_000, topics=64, iterations=4,
+    platform="dgx", gpus=4, sync="auto",
+)
+def _planner_dgx() -> dict:
+    return _planner_metrics("dgx")
 
 
 @REGISTRY.scenario(

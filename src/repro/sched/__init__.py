@@ -8,8 +8,10 @@ Implements §4–5 of the paper:
 - :mod:`repro.sched.schedule` — WorkSchedule1 (M = 1, data resident) and
   WorkSchedule2 (M > 1, per-iteration double-buffered transfers) from
   Algorithm 1.
-- :mod:`repro.sched.sync` — the φ reduce-tree + broadcast (Fig 4) and
-  the CPU-gather baseline it replaces.
+- :mod:`repro.sched.sync` — compatibility facade over the collective
+  layer in :mod:`repro.comm` (the φ reduce-tree + broadcast of Fig 4,
+  the ring/CPU-gather alternatives, and the hierarchical composite now
+  live there, behind the ``--sync auto`` planner).
 """
 
 from repro.sched.partition import (
@@ -23,6 +25,7 @@ from repro.sched.byword import partition_words_by_tokens, train_by_word
 from repro.sched.sync import (
     broadcast_phi,
     cpu_gather_sync,
+    hierarchical_allreduce_phi,
     reduce_phi_tree,
     ring_allreduce_phi,
 )
@@ -37,6 +40,7 @@ __all__ = [
     "broadcast_phi",
     "cpu_gather_sync",
     "ring_allreduce_phi",
+    "hierarchical_allreduce_phi",
     "partition_words_by_tokens",
     "train_by_word",
 ]

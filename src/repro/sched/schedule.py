@@ -48,14 +48,9 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.memory import DeviceArray
 from repro.gpusim.platform import Machine
 from repro.gpusim.stream import Event, Stream
-from repro.sched.sync import (
-    TransferRetry,
-    broadcast_phi,
-    cpu_gather_sync,
-    reduce_phi_tree,
-    ring_allreduce_phi,
-)
+from repro.comm import AUTO, SyncContext, TransferRetry, plan_sync
 from repro.telemetry.context import emit_counter, emit_gauge_max
+from repro.telemetry.spans import span
 
 __all__ = [
     "ChunkRuntime",
@@ -347,15 +342,17 @@ def synchronize_model(
     hyper: LDAHyperParams,
     config: KernelConfig,
     phi_ready: list,
-    algorithm: str = "gpu_tree",
+    algorithm: str = AUTO,
     retry: TransferRetry | None = None,
 ) -> None:
     """Combine the partial φ replicas and refresh every GPU's full φ/n_k.
 
     ``phi_ready[g]`` is the event marking GPU *g*'s update-φ completion.
-    ``algorithm`` is ``"gpu_tree"`` (Fig 4) or ``"cpu_gather"`` (the
-    rejected baseline, kept for the ablation). ``retry`` enables
-    fault-tolerant transfers (see :class:`repro.sched.sync.TransferRetry`).
+    ``algorithm`` is ``"auto"`` (the :class:`~repro.comm.SyncPlanner`
+    picks the cheapest collective for the current topology) or any
+    registered collective name, which forces that plan. ``retry``
+    enables fault-tolerant transfers (see
+    :class:`~repro.comm.TransferRetry`).
     """
     G = len(workers)
     sync_streams = [w.sync for w in workers]
@@ -364,18 +361,23 @@ def synchronize_model(
 
     partials = [w.phi_partial for w in workers]
     fulls = [w.phi_full for w in workers]
-    if algorithm == "gpu_tree":
-        root = reduce_phi_tree(
-            machine, partials, [w.phi_scratch for w in workers], sync_streams,
-            config, retry=retry,
+    with span("sync_plan"):
+        plan = plan_sync(
+            machine, partials[0].shape, config,
+            retry=retry, algorithm=algorithm,
+            devices=[w.device.device_id for w in workers],
         )
-        broadcast_phi(machine, root, fulls, sync_streams, config, retry=retry)
-    elif algorithm == "ring":
-        ring_allreduce_phi(machine, partials, fulls, sync_streams, config, retry=retry)
-    elif algorithm == "cpu_gather":
-        cpu_gather_sync(machine, partials, fulls, sync_streams, config, retry=retry)
-    else:
-        raise ValueError(f"unknown sync algorithm {algorithm!r}")
+    plan.collective.allreduce(
+        SyncContext(
+            machine=machine,
+            partials=partials,
+            fulls=fulls,
+            scratch=[w.phi_scratch for w in workers],
+            streams=sync_streams,
+            config=config,
+            retry=retry,
+        )
+    )
 
     # n_k = Σ_v φ_kv on every GPU (cheap row-sum kernel).
     K, V = fulls[0].shape
@@ -412,7 +414,7 @@ def run_iteration_resident(
     dev_chunks: list[DeviceChunk],
     hyper: LDAHyperParams,
     config: KernelConfig,
-    sync_algorithm: str = "gpu_tree",
+    sync_algorithm: str = AUTO,
     retry: TransferRetry | None = None,
 ) -> None:
     """One WorkSchedule1 iteration (M = 1): chunk g is resident on GPU g."""
@@ -437,7 +439,7 @@ def run_iteration_streaming(
     hyper: LDAHyperParams,
     config: KernelConfig,
     chunks_per_gpu: int,
-    sync_algorithm: str = "gpu_tree",
+    sync_algorithm: str = AUTO,
     overlap: bool = True,
     retry: TransferRetry | None = None,
 ) -> None:

@@ -1,33 +1,26 @@
-"""Model synchronization: the φ reduce tree and broadcast (paper §5.2).
+"""Compatibility facade over :mod:`repro.comm` (paper §5.2).
 
-After every iteration the per-GPU *partial* φ replicas (each holding
-only its own chunks' counts) must be summed into the full φ and
-redistributed. The paper rejects the intuitive gather-to-CPU approach
-(the CPU adds slower than GPUs, and the host link becomes a serial
-bottleneck) in favour of a **binary reduce tree over peer-to-peer
-copies** — ⌈log₂ G⌉ steps whose transfers use disjoint GPU pairs and
-therefore disjoint links (Fig 4) — followed by a broadcast of the root's
-result.
-
-Both algorithms are implemented below; the ablation bench
-(`bench_ablation_sync`) measures the difference the paper asserts.
+The sync algorithms used to live here; they now belong to the
+pluggable collective-communication layer in :mod:`repro.comm`
+(:mod:`repro.comm.collectives` for the executable primitives,
+:mod:`repro.comm.transfer` for the retry/fallback policy, and
+:mod:`repro.comm.planner` for the ``--sync auto`` cost-model
+selection). This module re-exports the old public names so existing
+imports — the ablation/ring benches, tests, downstream scripts — keep
+working; new code should import from :mod:`repro.comm` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, TypeVar
-
-import numpy as np
-
-from repro.core.kernels import KernelConfig, phi_reduce_cost
-from repro.gpusim.costmodel import KernelCost
-from repro.gpusim.errors import LinkDown
-from repro.gpusim.kernel import KernelLaunch
-from repro.gpusim.memory import DeviceArray
-from repro.gpusim.platform import Machine
-from repro.gpusim.stream import Stream
-from repro.telemetry.context import emit_counter, emit_observe
+from repro.comm.collectives import (
+    _add_kernel,
+    broadcast_phi,
+    cpu_gather_sync,
+    hierarchical_allreduce_phi,
+    reduce_phi_tree,
+    ring_allreduce_phi,
+)
+from repro.comm.transfer import TransferRetry, resilient_p2p, with_retry
 
 __all__ = [
     "TransferRetry",
@@ -35,423 +28,9 @@ __all__ = [
     "broadcast_phi",
     "cpu_gather_sync",
     "ring_allreduce_phi",
+    "hierarchical_allreduce_phi",
 ]
 
-_T = TypeVar("_T")
-
-
-@dataclass(frozen=True)
-class TransferRetry:
-    """Retry policy for link transfers during synchronization.
-
-    When a transfer raises :class:`~repro.gpusim.errors.LinkDown`, it is
-    retried up to ``max_retries`` times; each retry charges an
-    exponentially growing backoff stall (``backoff_seconds`` doubling per
-    attempt) on the issuing stream. If a *peer* link stays down past the
-    retry budget and ``host_fallback`` is set, the copy is re-routed
-    through host memory (d2h on the sender + h2d on the receiver — the
-    degraded CPU-gather path of §5.2), itself retried. ``None`` anywhere
-    a ``retry`` parameter is accepted means fail fast (seed behaviour).
-    """
-
-    max_retries: int = 3
-    backoff_seconds: float = 1e-4
-    host_fallback: bool = True
-
-    def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        if self.backoff_seconds <= 0:
-            raise ValueError("backoff_seconds must be positive")
-
-
-def _with_retry(
-    op: Callable[[], _T],
-    stream: Stream,
-    label: str,
-    retry: TransferRetry | None,
-) -> _T:
-    """Run *op*, retrying on LinkDown with backoff charged to *stream*."""
-    if retry is None:
-        return op()
-    backoff = retry.backoff_seconds
-    for attempt in range(retry.max_retries + 1):
-        try:
-            return op()
-        except LinkDown as exc:
-            if attempt == retry.max_retries:
-                raise
-            emit_counter(
-                "transfer_retries_total", 1,
-                help="link transfers retried after a transient failure",
-                link=exc.link_name, op=label,
-            )
-            stream.enqueue(
-                duration=backoff, kind="stall", label=f"retry_backoff:{label}"
-            )
-            backoff *= 2.0
-    raise AssertionError("unreachable")  # pragma: no cover
-
-
-def _resilient_p2p(
-    machine: Machine,
-    dst: DeviceArray,
-    src: DeviceArray,
-    dst_stream: Stream,
-    src_stream: Stream,
-    label: str,
-    retry: TransferRetry | None,
-) -> tuple[float, float]:
-    """P2P copy with retry and, when the peer link stays down, a degraded
-    re-route through host memory (the paper's rejected gather path,
-    pressed into service as a fault-tolerance fallback)."""
-    try:
-        return _with_retry(
-            lambda: machine.memcpy_p2p(dst, src, stream=dst_stream, label=label),
-            dst_stream, label, retry,
-        )
-    except LinkDown as exc:
-        if retry is None or not retry.host_fallback:
-            raise
-        emit_counter(
-            "degraded_sync_total", 1,
-            help="p2p transfers re-routed through host memory",
-            link=exc.link_name, op=label,
-        )
-        _, _, host = _with_retry(
-            lambda: machine.memcpy_d2h(
-                src, stream=src_stream, label=f"{label}_via_host_d2h",
-                pinned=False,
-            ),
-            src_stream, f"{label}_via_host_d2h", retry,
-        )
-        staged = src_stream.record(label=f"{label}_staged")
-        dst_stream.wait_event(staged)
-        return _with_retry(
-            lambda: machine.memcpy_h2d(
-                dst, host, stream=dst_stream, label=f"{label}_via_host_h2d",
-                pinned=False,
-            ),
-            dst_stream, f"{label}_via_host_h2d", retry,
-        )
-
-
-def _add_kernel(dst: DeviceArray, src: DeviceArray, config: KernelConfig) -> KernelLaunch:
-    """dst += src (element-wise integer add on the destination GPU)."""
-    K, V = dst.shape
-
-    def body() -> None:
-        dst.data += src.data
-
-    return KernelLaunch(
-        fn=body,
-        cost=phi_reduce_cost(K, V, config),
-        label="phi_add",
-        kind="sync",
-    )
-
-
-def reduce_phi_tree(
-    machine: Machine,
-    partials: list[DeviceArray],
-    scratch: list[DeviceArray],
-    streams: list[Stream],
-    config: KernelConfig,
-    retry: TransferRetry | None = None,
-) -> DeviceArray:
-    """Tree-reduce the partial replicas into ``partials[0]`` (Fig 4).
-
-    At stride s = 1, 2, 4, … GPU ``i+s`` sends its accumulated partial to
-    GPU ``i``'s scratch buffer, and GPU ``i`` adds it in. Transfers within
-    one step use disjoint device pairs, so they proceed in parallel —
-    the reduction completes in ⌈log₂ G⌉ serial steps.
-
-    Returns ``partials[0]``, which afterwards holds Σ_g φ_g.
-    """
-    G = len(partials)
-    if not (len(scratch) == len(streams) == G):
-        raise ValueError("partials, scratch, and streams must align")
-    stride = 1
-    while stride < G:
-        for i in range(0, G - stride, 2 * stride):
-            sender = i + stride
-            ready = streams[sender].record(label=f"phi_ready[{sender}]")
-            streams[i].wait_event(ready)
-            c_start, _ = _resilient_p2p(
-                machine, scratch[i], partials[sender], streams[i],
-                streams[sender], "phi_reduce_copy", retry,
-            )
-            emit_counter(
-                "sync_bytes_total", partials[sender].nbytes,
-                help="bytes moved per link during model synchronization",
-                link=f"{sender}->{i}", phase="reduce",
-            )
-            _, a_end, _ = _add_kernel(partials[i], scratch[i], config).launch(
-                streams[i]
-            )
-            emit_observe(
-                "sync_reduce_step_seconds", a_end - c_start,
-                help="simulated copy+add time of one reduce-tree step",
-                stride=str(stride),
-            )
-        stride *= 2
-    return partials[0]
-
-
-def broadcast_phi(
-    machine: Machine,
-    source: DeviceArray,
-    destinations: list[DeviceArray],
-    streams: list[Stream],
-    config: KernelConfig,
-    retry: TransferRetry | None = None,
-) -> None:
-    """Tree-broadcast *source* (the reduced φ on GPU 0) to every GPU.
-
-    Inverse of the reduce tree: at stride G/2, G/4, …, 1 each GPU that
-    already has the result forwards it, doubling the holder set each
-    step — again ⌈log₂ G⌉ serial steps.
-
-    ``destinations[g]`` is GPU *g*'s full-φ buffer; ``destinations[0]``
-    lives on the same device as *source* and receives a device-local
-    copy (charged as a kernel, not a link transfer).
-    """
-    G = len(destinations)
-    if len(streams) != G:
-        raise ValueError("destinations and streams must align")
-    if destinations[0].device is not source.device:
-        raise ValueError("destinations[0] must live on the source device")
-
-    def local_copy() -> None:
-        destinations[0].data[...] = source.data
-
-    K, V = source.shape
-    n = float(K) * V * config.phi_bytes
-    KernelLaunch(
-        fn=local_copy,
-        cost=KernelCost(bytes_read=n, bytes_written=n),
-        label="phi_local_copy",
-        kind="sync",
-    ).launch(streams[0])
-
-    # Doubling pattern: holders {0} -> {0,1} -> {0,1,2,3} -> ...
-    have = [0]
-    step = 1
-    while step < G:
-        new_holders = []
-        for h in have:
-            peer = h + step
-            if peer < G:
-                ready = streams[h].record(label=f"phi_have[{h}]")
-                streams[peer].wait_event(ready)
-                _resilient_p2p(
-                    machine, destinations[peer], destinations[h],
-                    streams[peer], streams[h], "phi_broadcast_copy", retry,
-                )
-                emit_counter(
-                    "sync_bytes_total", destinations[h].nbytes,
-                    help="bytes moved per link during model synchronization",
-                    link=f"{h}->{peer}", phase="broadcast",
-                )
-                new_holders.append(peer)
-        have.extend(new_holders)
-        step *= 2
-
-
-def cpu_gather_sync(
-    machine: Machine,
-    partials: list[DeviceArray],
-    destinations: list[DeviceArray],
-    streams: list[Stream],
-    config: KernelConfig,
-    retry: TransferRetry | None = None,
-) -> None:
-    """The intuitive baseline the paper rejects (§5.2): pull every
-    replica to the host, add on the CPU, push the sum back to every GPU.
-
-    All transfers contend on the host links and the adds run at CPU
-    speed; the ablation bench shows the gap versus the GPU tree.
-    """
-    G = len(partials)
-    host_copies: list[np.ndarray] = []
-    for g in range(G):
-        # The gather lands in the host model arrays — pageable memory,
-        # so it runs at the staging-copy rate (unlike the pinned chunk
-        # buffers WorkSchedule2 streams through).
-        _, _, arr = _with_retry(
-            lambda g=g: machine.memcpy_d2h(
-                partials[g], stream=streams[g], label="phi_gather", pinned=False
-            ),
-            streams[g], "phi_gather", retry,
-        )
-        emit_counter(
-            "sync_bytes_total", partials[g].nbytes,
-            help="bytes moved per link during model synchronization",
-            link=f"{g}->host", phase="gather",
-        )
-        host_copies.append(arr)
-    machine.synchronize()
-
-    K, V = partials[0].shape
-    n = float(K) * V
-
-    def host_add() -> np.ndarray:
-        total = host_copies[0].astype(np.int64)
-        for arr in host_copies[1:]:
-            total += arr
-        return total.astype(partials[0].dtype)
-
-    total = machine.host_compute(
-        host_add,
-        KernelCost(
-            bytes_read=G * n * config.phi_bytes,
-            bytes_written=n * config.phi_bytes,
-            flops=(G - 1) * n,
-        ),
-        label="phi_host_add",
-    )
-    for g in range(G):
-        _with_retry(
-            lambda g=g: machine.memcpy_h2d(
-                destinations[g], total, stream=streams[g], label="phi_scatter",
-                pinned=False,
-            ),
-            streams[g], "phi_scatter", retry,
-        )
-        emit_counter(
-            "sync_bytes_total", destinations[g].nbytes,
-            help="bytes moved per link during model synchronization",
-            link=f"host->{g}", phase="scatter",
-        )
-
-
-def ring_allreduce_phi(
-    machine: Machine,
-    partials: list[DeviceArray],
-    fulls: list[DeviceArray],
-    streams: list[Stream],
-    config: KernelConfig,
-    retry: TransferRetry | None = None,
-) -> None:
-    """Ring all-reduce — the alternative the tree is benchmarked against.
-
-    Standard two-phase ring (reduce-scatter then all-gather) over φ
-    split into G row segments: 2·(G−1) steps, each moving only 1/G of
-    the replica per link, with every neighbouring link active in
-    parallel. At large G this moves less data per link than the tree
-    (2·(G−1)/G replicas vs ⌈log₂G⌉), at the cost of more latency-bound
-    steps — the trade ``bench_ext_ring_allreduce.py`` measures.
-
-    On completion every GPU's ``fulls[g]`` (and its ``partials[g]``)
-    holds Σ_g φ_g.
-    """
-    G = len(partials)
-    if not (len(fulls) == len(streams) == G):
-        raise ValueError("partials, fulls, and streams must align")
-    K, V = partials[0].shape
-    phi_b = config.phi_bytes
-
-    def local_full_copy(g: int) -> None:
-        def body(g: int = g) -> None:
-            fulls[g].data[...] = partials[g].data
-
-        n = float(K) * V * phi_b
-        KernelLaunch(
-            body,
-            KernelCost(bytes_read=n, bytes_written=n),
-            "phi_local_copy",
-            kind="sync",
-        ).launch(streams[g])
-
-    if G == 1:
-        local_full_copy(0)
-        return
-
-    # Row-segment boundaries.
-    edges = [K * i // G for i in range(G + 1)]
-    seg_rows = [edges[i + 1] - edges[i] for i in range(G)]
-    max_rows = max(seg_rows)
-
-    send_bufs = [
-        DeviceArray(machine.gpus[g], (max_rows, V), partials[g].dtype,
-                    label=f"ring_send{g}")
-        for g in range(G)
-    ]
-    recv_bufs = [
-        DeviceArray(machine.gpus[g], (max_rows, V), partials[g].dtype,
-                    label=f"ring_recv{g}")
-        for g in range(G)
-    ]
-
-    def run_phase(step: int, reduce_phase: bool) -> None:
-        """One ring step: stage → transfer → combine, all GPUs."""
-        seg_bytes = float(max_rows) * V * phi_b
-        stage_events = []
-        send_chunk = [0] * G
-        recv_chunk = [0] * G
-        for g in range(G):
-            if reduce_phase:
-                send_chunk[g] = (g - step) % G
-                recv_chunk[g] = (g - step - 1) % G
-            else:
-                send_chunk[g] = (g + 1 - step) % G
-                recv_chunk[g] = (g - step) % G
-
-        for g in range(G):
-            c = send_chunk[g]
-            lo, hi = edges[c], edges[c + 1]
-
-            def stage(g: int = g, lo: int = lo, hi: int = hi) -> None:
-                send_bufs[g].data[: hi - lo] = partials[g].data[lo:hi]
-
-            KernelLaunch(
-                stage,
-                KernelCost(bytes_read=seg_bytes, bytes_written=seg_bytes),
-                "ring_stage",
-                kind="sync",
-            ).launch(streams[g])
-            stage_events.append(streams[g].record(label=f"ring_staged[{g}]"))
-
-        for g in range(G):
-            dst = (g + 1) % G
-            streams[dst].wait_event(stage_events[g])
-            _resilient_p2p(
-                machine, recv_bufs[dst], send_bufs[g], streams[dst],
-                streams[g], "ring_transfer", retry,
-            )
-            emit_counter(
-                "sync_bytes_total", send_bufs[g].nbytes,
-                help="bytes moved per link during model synchronization",
-                link=f"{g}->{dst}",
-                phase="ring_reduce" if reduce_phase else "ring_gather",
-            )
-
-        for g in range(G):
-            c = recv_chunk[g]
-            lo, hi = edges[c], edges[c + 1]
-
-            def combine(g: int = g, lo: int = lo, hi: int = hi) -> None:
-                if reduce_phase:
-                    partials[g].data[lo:hi] += recv_bufs[g].data[: hi - lo]
-                else:
-                    partials[g].data[lo:hi] = recv_bufs[g].data[: hi - lo]
-
-            KernelLaunch(
-                combine,
-                KernelCost(
-                    bytes_read=2 * seg_bytes if reduce_phase else seg_bytes,
-                    bytes_written=seg_bytes,
-                    flops=float(max_rows) * V if reduce_phase else 0.0,
-                ),
-                "ring_combine",
-                kind="sync",
-            ).launch(streams[g])
-
-    for step in range(G - 1):
-        run_phase(step, reduce_phase=True)
-    for step in range(G - 1):
-        run_phase(step, reduce_phase=False)
-    for g in range(G):
-        local_full_copy(g)
-    for buf in send_bufs + recv_bufs:
-        buf.free()
+# Pre-refactor private names, kept for callers that reached in.
+_with_retry = with_retry
+_resilient_p2p = resilient_p2p

@@ -86,7 +86,7 @@ class BreakerPolicy:
     cooldown_factor: each re-trip multiplies the cooldown by this.
     upload_retries / upload_backoff_seconds: retry budget for the φ
         re-broadcast when a replica (re)spawns — the same
-        :class:`~repro.sched.sync.TransferRetry` policy training uses
+        :class:`~repro.comm.TransferRetry` policy training uses
         for sync transfers.
     """
 
@@ -110,7 +110,7 @@ class BreakerPolicy:
 
     def transfer_retry(self):
         """The φ-broadcast retry policy (PR 3's transfer-retry path)."""
-        from repro.sched.sync import TransferRetry
+        from repro.comm import TransferRetry
 
         return TransferRetry(
             max_retries=self.upload_retries,

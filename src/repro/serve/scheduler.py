@@ -16,7 +16,7 @@ fault budget — are **never selected again** (a permanent ``dead_replicas``
 set, not a per-request skip). When a replica dies and a warm spare
 remains, the spare is activated in its place (``respawning``) and φ is
 re-broadcast to it over its PCIe uplink, retried with exponential
-backoff via PR 3's :class:`~repro.sched.sync.TransferRetry` path.
+backoff via PR 3's :class:`~repro.comm.TransferRetry` path.
 
 Failover semantics are unchanged from PR 4: a dispatch that raises a
 :class:`~repro.gpusim.errors.FaultError` moves the batch to the next
@@ -65,7 +65,7 @@ class ReplicaScheduler:
         remaining GPUs are warm spares, activated when a replica dies.
     health: optional :class:`~repro.serve.resilience.HealthMonitor`
         consulted for routing and notified of dispatch outcomes.
-    upload_retry: optional :class:`~repro.sched.sync.TransferRetry`
+    upload_retry: optional :class:`~repro.comm.TransferRetry`
         applied to φ broadcasts (respawn re-broadcast and ordinary
         residency misses alike).
     """
@@ -148,11 +148,12 @@ class ReplicaScheduler:
         """φ residency with the PR 3 transfer-retry path on the uplink."""
         if self.upload_retry is None:
             return replica.ensure_model(digest, phi)
-        from repro.sched.sync import _with_retry
+        from repro.comm import with_retry
 
-        return _with_retry(
+        return with_retry(
             lambda: replica.ensure_model(digest, phi),
             replica.stream, "serve_phi_broadcast", self.upload_retry,
+            devices=(replica.device.device_id,),
         )
 
     def _note_fault(self, replica: PhiReplica, exc: FaultError,

@@ -1,0 +1,425 @@
+"""Tests for the collective-communication layer (repro.comm).
+
+Covers the topology snapshot, the collective registry, the hierarchical
+all-reduce, the cost-model planner's per-topology decisions (including
+replanning around dead links), the structured no-path error every
+collective now raises, and the ``--sync auto`` bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    AUTO,
+    SyncContext,
+    Topology,
+    TransferRetry,
+    collective_names,
+    collectives,
+    cpu_gather_sync,
+    get_collective,
+    hierarchical_allreduce_phi,
+    plan_sync,
+    reduce_phi_tree,
+    ring_allreduce_phi,
+    sync_choices,
+)
+from repro.core.kernels import KernelConfig
+from repro.gpusim.errors import LinkDown, SyncPathError
+from repro.gpusim.memory import DeviceArray
+from repro.gpusim.platform import (
+    dgx_platform,
+    make_machine,
+    pascal_platform,
+    volta_platform,
+)
+
+
+def _setup(machine, K=8, V=20, dtype=np.int32, seed=0, devices=None):
+    """Partial/scratch/full buffers + streams on *devices* (default all)."""
+    rng = np.random.default_rng(seed)
+    gpus = (
+        machine.gpus if devices is None
+        else [machine.gpus[d] for d in devices]
+    )
+    partial_data = [
+        rng.integers(0, 50, size=(K, V)).astype(dtype) for _ in gpus
+    ]
+    partials = [
+        DeviceArray(gpu, (K, V), dtype, fill=partial_data[i],
+                    label=f"partial{i}")
+        for i, gpu in enumerate(gpus)
+    ]
+    scratch = [
+        DeviceArray(gpu, (K, V), dtype, label=f"scratch{i}")
+        for i, gpu in enumerate(gpus)
+    ]
+    fulls = [
+        DeviceArray(gpu, (K, V), dtype, label=f"full{i}")
+        for i, gpu in enumerate(gpus)
+    ]
+    streams = [gpu.create_stream("sync") for gpu in gpus]
+    expected = np.sum(partial_data, axis=0)
+    return partials, scratch, fulls, streams, expected
+
+
+# ----------------------------------------------------------------------
+# Topology snapshots
+# ----------------------------------------------------------------------
+class TestTopology:
+    def test_pascal_dual_socket_layout(self):
+        m = pascal_platform(4)
+        t = Topology.from_machine(m)
+        assert t.devices == (0, 1, 2, 3)
+        assert t.sockets == ((0, 1), (2, 3))
+        assert t.num_sockets == 2
+        assert not t.has_nvlink
+        assert t.describe() == "4gpu-2sock-pcie"
+        # Same-socket pairs ride the PCIe switch, cross-socket pairs the
+        # (slower) inter-socket bridge.
+        assert t.p2p_info(0, 1).kind == "p2p_switch"
+        assert t.p2p_info(2, 3).kind == "p2p_switch"
+        assert t.p2p_info(0, 2).kind == "p2p_bridge"
+        assert (t.p2p_info(0, 1).bandwidth_gbps
+                > t.p2p_info(0, 2).bandwidth_gbps)
+
+    def test_dgx_links_classified_nvlink(self):
+        t = Topology.from_machine(dgx_platform(4))
+        assert t.has_nvlink
+        assert all(i.kind == "nvlink" for i in t.p2p.values())
+        assert t.describe() == "4gpu-2sock-nvlink"
+
+    def test_down_and_degraded_links_visible(self):
+        m = pascal_platform(2)
+        m.p2p_link(0, 1).set_down()
+        m.pcie[0].degrade(0.5)
+        t = Topology.from_machine(m)
+        assert not t.p2p_info(0, 1).up
+        assert t.host[0].bandwidth_gbps == pytest.approx(
+            t.host[1].bandwidth_gbps * 0.5
+        )
+
+    def test_transient_faults_invisible(self):
+        m = pascal_platform(2)
+        m.p2p_link(0, 1).fail_next(3)
+        assert Topology.from_machine(m).p2p_info(0, 1).up
+
+    def test_device_subset_is_the_elastic_view(self):
+        m = pascal_platform(4)
+        m.gpus[1].fail()
+        t = Topology.from_machine(m)
+        assert t.devices == (0, 2, 3)
+        assert t.sockets == ((0,), (2, 3))
+
+    def test_from_cluster_is_all_eth(self):
+        from repro.cluster.network import ClusterNetwork
+
+        t = Topology.from_cluster(ClusterNetwork(num_nodes=3))
+        assert t.devices == (0, 1, 2)
+        assert t.p2p == {}
+        assert all(i.kind == "eth" for i in t.host.values())
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_registration_order_and_choices(self):
+        assert collective_names() == (
+            "gpu_tree", "ring", "cpu_gather", "hierarchical"
+        )
+        assert sync_choices() == (AUTO, *collective_names())
+        assert [c.name for c in collectives()] == list(collective_names())
+
+    def test_unknown_name_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="unknown sync algorithm"):
+            get_collective("bogus")
+        with pytest.raises(ValueError, match="auto"):
+            get_collective("bogus")
+
+    def test_trainer_still_rejects_unknown_algorithm(self):
+        from repro.core import CuLDA, TrainConfig
+        from repro.corpus.synthetic import pubmed_like
+
+        corpus = pubmed_like(num_tokens=2_000, num_topics=4, seed=0)
+        with pytest.raises(ValueError, match="unknown sync algorithm"):
+            CuLDA(
+                corpus, pascal_platform(2),
+                TrainConfig(num_topics=8, iterations=1, seed=0,
+                            sync_algorithm="bogus"),
+            ).train()
+
+
+# ----------------------------------------------------------------------
+# Hierarchical collective
+# ----------------------------------------------------------------------
+class TestHierarchical:
+    @pytest.mark.parametrize("num_gpus", [1, 2, 3, 4])
+    def test_allreduce_sums_all_replicas(self, num_gpus):
+        m = pascal_platform(num_gpus)
+        partials, scratch, fulls, streams, expected = _setup(m)
+        hierarchical_allreduce_phi(
+            m, partials, fulls, scratch, streams, KernelConfig()
+        )
+        m.synchronize()
+        for f in fulls:
+            assert np.array_equal(f.data, expected.astype(f.dtype))
+
+    def test_elastic_subset_skipping_a_socket_member(self):
+        # Surviving set {0, 2, 3}: socket 0 degenerates to one GPU.
+        m = pascal_platform(4)
+        partials, scratch, fulls, streams, expected = _setup(
+            m, devices=[0, 2, 3]
+        )
+        hierarchical_allreduce_phi(
+            m, partials, fulls, scratch, streams, KernelConfig()
+        )
+        m.synchronize()
+        for f in fulls:
+            assert np.array_equal(f.data, expected.astype(f.dtype))
+
+    def test_bridge_traffic_below_tree(self):
+        # The point of the composition: fewer full replicas cross the
+        # inter-socket bridge than under the flat tree.
+        from repro.telemetry import MetricsRegistry
+        from repro.telemetry.context import telemetry_session
+
+        def bridge_bytes(run):
+            m = pascal_platform(4)
+            registry = MetricsRegistry()
+            with telemetry_session(registry=registry):
+                run(m)
+            m.synchronize()
+            counter = registry.get("sync_bytes_total")
+            cross = 0.0
+            for s in counter.samples():
+                a, b = s.labels["link"].split("->")
+                if {a, b} & {"0", "1"} and {a, b} & {"2", "3"}:
+                    cross += s.value
+            return cross
+
+        cfg = KernelConfig()
+
+        def tree(m):
+            p, s, f, st, _ = _setup(m, K=64, V=500)
+            root = reduce_phi_tree(m, p, s, st, cfg)
+            from repro.comm import broadcast_phi
+
+            broadcast_phi(m, root, f, st, cfg)
+
+        def hier(m):
+            p, s, f, st, _ = _setup(m, K=64, V=500)
+            hierarchical_allreduce_phi(m, p, f, s, st, cfg)
+
+        assert bridge_bytes(hier) < bridge_bytes(tree)
+
+
+# ----------------------------------------------------------------------
+# Planner decisions
+# ----------------------------------------------------------------------
+PAYLOAD = (64, 2048)
+
+
+class TestPlanner:
+    def test_picks_hierarchical_on_dual_socket_pcie(self):
+        plan = plan_sync(pascal_platform(4), PAYLOAD, KernelConfig())
+        assert plan.algorithm == "hierarchical"
+        assert not plan.forced
+        assert plan.estimate.feasible
+
+    def test_picks_tree_on_nvlink(self):
+        plan = plan_sync(dgx_platform(4), PAYLOAD, KernelConfig())
+        assert plan.algorithm == "gpu_tree"
+
+    def test_distinct_choices_across_topologies(self):
+        chosen = {
+            platform: plan_sync(
+                make_machine(platform, 4), PAYLOAD, KernelConfig()
+            ).algorithm
+            for platform in ("pascal", "volta", "dgx")
+        }
+        assert len(set(chosen.values())) >= 2, chosen
+
+    def test_single_gpu_keeps_seed_default(self):
+        assert plan_sync(
+            pascal_platform(1), PAYLOAD, KernelConfig()
+        ).algorithm == "gpu_tree"
+
+    def test_forced_plan_respected_and_marked(self):
+        plan = plan_sync(
+            pascal_platform(4), PAYLOAD, KernelConfig(), algorithm="ring"
+        )
+        assert plan.algorithm == "ring" and plan.forced
+
+    def test_dead_p2p_link_replans_to_host_path(self):
+        m = pascal_platform(4)
+        baseline = plan_sync(m, PAYLOAD, KernelConfig(),
+                             retry=TransferRetry())
+        assert baseline.algorithm != "cpu_gather"
+        for (a, b) in ((0, 1), (0, 2), (2, 3)):
+            m.p2p_link(a, b).set_down()
+        replanned = plan_sync(m, PAYLOAD, KernelConfig(),
+                              retry=TransferRetry())
+        assert replanned.algorithm == "cpu_gather"
+
+    def test_dead_p2p_without_fallback_still_replans(self):
+        m = pascal_platform(2)
+        m.p2p_link(0, 1).set_down()
+        plan = plan_sync(
+            m, PAYLOAD, KernelConfig(),
+            retry=TransferRetry(host_fallback=False),
+        )
+        assert plan.algorithm == "cpu_gather"
+
+    def test_no_path_at_all_raises_structured_error(self):
+        m = pascal_platform(2)
+        m.p2p_link(0, 1).set_down()
+        for link in m.pcie:
+            link.set_down()
+        with pytest.raises(SyncPathError):
+            plan_sync(m, PAYLOAD, KernelConfig())
+
+    def test_auto_never_slower_than_tree_estimate(self):
+        cfg = KernelConfig()
+        for platform in ("maxwell", "pascal", "volta", "dgx"):
+            for gpus in (1, 2, 4):
+                m = make_machine(platform, gpus)
+                topo = Topology.from_machine(m)
+                auto = plan_sync(m, PAYLOAD, cfg)
+                tree = get_collective("gpu_tree").estimate(
+                    m, topo, PAYLOAD, cfg
+                )
+                assert auto.estimate.seconds <= tree.seconds + 1e-12
+
+    def test_decisions_recorded_in_registry(self):
+        from repro.comm import decisions_from_registry
+        from repro.telemetry import MetricsRegistry
+        from repro.telemetry.context import telemetry_session
+
+        registry = MetricsRegistry()
+        with telemetry_session(registry=registry):
+            plan_sync(pascal_platform(4), PAYLOAD, KernelConfig())
+            plan_sync(dgx_platform(4), PAYLOAD, KernelConfig(),
+                      algorithm="ring")
+        decisions = decisions_from_registry(registry)
+        assert {d["algorithm"] for d in decisions} == {
+            "hierarchical", "ring"
+        }
+        forced = {d["algorithm"]: d["forced"] for d in decisions}
+        assert forced == {"hierarchical": False, "ring": True}
+        assert all("predicted_seconds" in d for d in decisions)
+
+
+# ----------------------------------------------------------------------
+# Structured no-path errors (satellite: same error from every collective)
+# ----------------------------------------------------------------------
+class TestSyncPathError:
+    def _dead_machine(self, gpus=2):
+        m = pascal_platform(gpus)
+        for a in range(gpus):
+            for b in range(a + 1, gpus):
+                m.p2p_link(a, b).set_down()
+        return m
+
+    def test_tree_names_link_and_devices(self):
+        m = self._dead_machine()
+        p, s, f, st, _ = _setup(m)
+        with pytest.raises(SyncPathError) as err:
+            reduce_phi_tree(m, p, s, st, KernelConfig())
+        assert err.value.link_name == m.p2p_link(0, 1).name
+        assert err.value.devices == (1, 0)
+        assert err.value.op == "phi_reduce_copy"
+
+    def test_ring_raises_same_structured_error(self):
+        m = self._dead_machine()
+        p, s, f, st, _ = _setup(m)
+        with pytest.raises(SyncPathError) as err:
+            ring_allreduce_phi(m, p, f, st, KernelConfig())
+        assert err.value.link_name == m.p2p_link(0, 1).name
+        assert len(err.value.devices) == 2
+        assert err.value.op == "ring_transfer"
+
+    def test_cpu_gather_raises_same_structured_error(self):
+        m = pascal_platform(2)
+        m.pcie[1].set_down()
+        p, s, f, st, _ = _setup(m)
+        with pytest.raises(SyncPathError) as err:
+            cpu_gather_sync(m, p, f, st, KernelConfig())
+        assert err.value.link_name == m.pcie[1].name
+        assert err.value.devices == (1,)
+        assert err.value.op == "phi_gather"
+
+    def test_subclasses_linkdown_for_existing_handlers(self):
+        assert issubclass(SyncPathError, LinkDown)
+        err = SyncPathError("p2p[0-1]", "phi_reduce_copy", devices=(1, 0))
+        assert "p2p[0-1]" in str(err)
+        assert "1->0" in str(err)
+        assert not err.transient
+
+
+# ----------------------------------------------------------------------
+# Bit-identity of --sync auto (the planner's core invariant)
+# ----------------------------------------------------------------------
+class TestAutoBitIdentity:
+    """φ is summed in exact integer arithmetic, so whatever the planner
+    picks must be bit-identical to every forced algorithm — on PCIe,
+    NVLink, and mixed fabrics, and under fault plans."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.corpus.synthetic import pubmed_like
+
+        return pubmed_like(num_tokens=12_000, num_topics=8, seed=3)
+
+    def _train(self, corpus, platform, gpus, sync, iterations=3):
+        from repro.core import CuLDA, TrainConfig
+
+        trainer = CuLDA(
+            corpus, make_machine(platform, gpus),
+            TrainConfig(num_topics=16, iterations=iterations, seed=0,
+                        sync_algorithm=sync),
+        )
+        return trainer.train()
+
+    @pytest.mark.parametrize("platform", ["pascal", "volta", "dgx"])
+    @pytest.mark.parametrize("num_gpus", [2, 3, 4])
+    def test_auto_matches_every_forced_algorithm(
+        self, corpus, platform, num_gpus
+    ):
+        auto = self._train(corpus, platform, num_gpus, AUTO).phi
+        for sync in collective_names():
+            forced = self._train(corpus, platform, num_gpus, sync).phi
+            assert np.array_equal(auto, forced), (platform, num_gpus, sync)
+
+    def test_auto_bit_identical_under_dead_p2p_fault(self, corpus):
+        # A link_down fault mid-run forces the planner onto a host path
+        # for later iterations; the model must not notice.
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.telemetry import MetricsRegistry
+        from repro.core import CuLDA, TrainConfig
+
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="link_down", iteration=2, link="p2p[0-1]"),
+        ))
+        registry = MetricsRegistry()
+        trainer = CuLDA(
+            corpus, pascal_platform(2),
+            TrainConfig(num_topics=16, iterations=4, seed=0,
+                        sync_algorithm=AUTO),
+            registry=registry,
+        )
+        faulty = trainer.train(fault_plan=plan, recovery="retry")
+        clean = self._train(corpus, "pascal", 2, AUTO, iterations=4).phi
+        assert np.array_equal(faulty.phi, clean)
+        decisions = registry.get("sync_planner_decisions_total")
+        chosen = {s.labels["algorithm"] for s in decisions.samples()}
+        assert "cpu_gather" in chosen  # replanned onto the host path
+
+    def test_auto_not_slower_than_tree_in_simulated_time(self, corpus):
+        for platform in ("pascal", "dgx"):
+            auto = self._train(corpus, platform, 4, AUTO)
+            tree = self._train(corpus, platform, 4, "gpu_tree")
+            assert (auto.total_sim_seconds
+                    <= tree.total_sim_seconds * (1 + 1e-9)), platform

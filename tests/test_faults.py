@@ -32,10 +32,15 @@ def corpus():
 
 
 def _train(corpus, gpus=4, iterations=6, *, plan=None, recovery=None,
-           registry=None, **train_kwargs):
+           registry=None, sync="gpu_tree", **train_kwargs):
+    # Forced gpu_tree: these tests exercise the retry/fallback machinery
+    # on specific links, so the sync planner must not re-route around
+    # the very faults being injected (planner behaviour under fault
+    # plans is covered in test_comm.py).
     trainer = CuLDA(
         corpus, pascal_platform(gpus),
-        TrainConfig(num_topics=8, iterations=iterations, seed=0),
+        TrainConfig(num_topics=8, iterations=iterations, seed=0,
+                    sync_algorithm=sync),
         registry=registry,
     )
     return trainer.train(fault_plan=plan, recovery=recovery, **train_kwargs)
@@ -583,7 +588,8 @@ class TestFaultsCli:
              "count": 2}])
         rc = main(["profile", "--tokens", "6000", "--topics", "8",
                    "--iterations", "5", "--platform", "pascal",
-                   "--gpus", "2", "--faults", plan, "--recovery", "retry"])
+                   "--gpus", "2", "--sync", "gpu_tree", "--top", "20",
+                   "--faults", plan, "--recovery", "retry"])
         out = capsys.readouterr().out
         assert rc == 0
         assert "transfer_retries_total" in out

@@ -361,7 +361,10 @@ def culda_run():
         corpus,
         machine=pascal_platform(2),
         config=TrainConfig(
-            num_topics=8, iterations=3, seed=0, likelihood_every=1
+            num_topics=8, iterations=3, seed=0, likelihood_every=1,
+            # Forced: the hooks below assert p2p traffic, which 'auto'
+            # may legitimately avoid at this tiny payload.
+            sync_algorithm="gpu_tree",
         ),
         callbacks=[recorder],
         registry=registry,
