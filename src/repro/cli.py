@@ -164,13 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print N top word-ids per topic")
     t.add_argument("--faults", metavar="PLAN.json",
                    help="inject the faults described in a JSON fault plan "
-                   "(culda only; see docs/ROBUSTNESS.md)")
+                   "(GPU kinds with --algo culda, cluster kinds with "
+                   "--algo ldastar; see docs/ROBUSTNESS.md)")
     t.add_argument("--recovery", choices=RECOVERY_MODES, default=None,
                    help="fault-recovery policy: retry transient transfers "
                    "and roll back corrupted state ('retry'), additionally "
-                   "re-partition over surviving GPUs on device loss "
-                   "('elastic'), or fail fast ('none', the default; "
-                   "culda only)")
+                   "re-partition over surviving GPUs/nodes on device or "
+                   "node loss ('elastic'), or fail fast ('none', the "
+                   "default; culda and ldastar)")
 
     i = sub.add_parser("infer", help="fold documents into a saved model")
     add_corpus_args(i)
@@ -357,6 +358,27 @@ def _print_training_failure(exc) -> None:
             print(f"  violation: {v}", file=sys.stderr)
     for event in getattr(exc, "fault_events", ()):
         print(f"  fault event: {event}", file=sys.stderr)
+    timeline = getattr(exc, "membership_events", ())
+    if timeline:
+        print("  membership timeline:", file=sys.stderr)
+        for at, node, frm, to in timeline:
+            print(f"    t={at:.3f}s node {node}: {frm} -> {to}",
+                  file=sys.stderr)
+
+
+def _check_fault_domains(plan, algo):
+    """Cluster fault kinds need the cluster trainer and GPU kinds the
+    GPU trainer; returns an error naming the offending entry, or None."""
+    if plan is None or plan is _BAD_PLAN:
+        return None
+    for i, spec in enumerate(plan):
+        if spec.domain == "cluster" and algo != "ldastar":
+            return (f"fault #{i} ({spec.kind}): cluster fault kinds "
+                    f"require --algo ldastar, not {algo!r}")
+        if spec.domain == "gpu" and algo not in ("culda", "saberlda"):
+            return (f"fault #{i} ({spec.kind}): GPU fault kinds require "
+                    f"--algo culda, not {algo!r}")
+    return None
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -367,13 +389,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.save_every and not args.save:
         print("error: --save-every requires --save FILE", file=sys.stderr)
         return 2
-    if (args.faults or args.recovery) and args.algo != "culda":
-        print("error: --faults/--recovery require --algo culda "
-              "(fault injection targets the simulated multi-GPU machine)",
-              file=sys.stderr)
+    if (args.faults or args.recovery) and args.algo not in (
+        "culda", "ldastar"
+    ):
+        print("error: --faults/--recovery require --algo culda or "
+              "ldastar (fault injection targets the simulated multi-GPU "
+              "machine or the simulated cluster)", file=sys.stderr)
         return 2
     fault_plan = _load_fault_plan(args.faults)
     if fault_plan is _BAD_PLAN:
+        return 2
+    domain_error = _check_fault_domains(fault_plan, args.algo)
+    if domain_error:
+        print(f"error: {domain_error}", file=sys.stderr)
         return 2
     corpus = _load_corpus(args)
     registry = MetricsRegistry()
@@ -434,11 +462,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
             trainer = LDAStar(corpus, hyper, num_workers=args.workers,
                               seed=args.seed, registry=registry)
-        result = trainer.train(
-            iterations=args.iterations,
-            likelihood_every=args.likelihood_every,
-            **run_kwargs,
-        )
+            run_kwargs.update(recovery=args.recovery,
+                              fault_plan=fault_plan)
+        try:
+            result = trainer.train(
+                iterations=args.iterations,
+                likelihood_every=args.likelihood_every,
+                **run_kwargs,
+            )
+        except TrainingFailure as exc:
+            _print_training_failure(exc)
+            return 1
     print(result.summary())
     if args.top_words:
         vocab = corpus.vocabulary

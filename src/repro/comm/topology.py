@@ -122,8 +122,12 @@ class Topology:
     def from_cluster(cls, network) -> "Topology":
         """Snapshot a :class:`~repro.cluster.network.ClusterNetwork`:
         every node is its own socket and all traffic rides its eth
-        uplink — there are no peer links."""
-        devs = tuple(range(network.num_nodes))
+        uplink — there are no peer links. Nodes killed by fault
+        injection (``node_failure``) are excluded — a sync plan must
+        never route through a dead node."""
+        devs = tuple(
+            d for d in range(network.num_nodes) if network.node_alive(d)
+        )
         return cls(
             devices=devs,
             sockets=tuple((d,) for d in devs),

@@ -134,7 +134,10 @@ class TrainingLoop:
             from repro.faults.injector import FaultInjector
 
             injector = FaultInjector(
-                cfg.fault_plan, machine=getattr(algo, "machine", None)
+                cfg.fault_plan,
+                machine=getattr(algo, "machine", None),
+                cluster=getattr(algo, "network", None),
+                server=getattr(algo, "server", None),
             )
         self._injector = injector
         rollbacks = 0
@@ -150,9 +153,14 @@ class TrainingLoop:
             violations: tuple[str, ...] = (),
         ):
             events = tuple(injector.events) if injector is not None else ()
+            membership = getattr(algo, "membership", None)
+            timeline = (
+                tuple(membership.timeline) if membership is not None else ()
+            )
             raise TrainingFailure(
                 message, iteration=iteration, phase=phase, cause=cause,
                 violations=violations, fault_events=events,
+                membership_events=timeline,
             ) from cause
 
         def recover(
@@ -177,11 +185,12 @@ class TrainingLoop:
                     violations=violations,
                 )
             if isinstance(cause, DeviceLost):
+                unit = getattr(cause, "unit", "GPU")
                 if policy.mode != "elastic":
                     fail(
-                        f"GPU {cause.device_id} was lost at iteration {it} "
-                        f"and recovery mode {policy.mode!r} cannot replace "
-                        "it; rerun with --recovery elastic",
+                        f"{unit} {cause.device_id} was lost at iteration "
+                        f"{it} and recovery mode {policy.mode!r} cannot "
+                        "replace it; rerun with --recovery elastic",
                         iteration=it, phase="iteration", cause=cause,
                     )
                 restore = snapshot_run_state(snapshot)

@@ -37,6 +37,7 @@ from repro.engine.state import RunState, freeze_rng_state, thaw_rng_state
 
 __all__ = [
     "RecoveryPolicy",
+    "ClusterRecoveryPolicy",
     "TrainingFailure",
     "validate_state",
     "snapshot_run_state",
@@ -56,6 +57,10 @@ class TrainingFailure(RuntimeError):
     violations: invariant violations found by :func:`validate_state`.
     fault_events: the injector's event log up to the failure (empty when
         no fault plan was active).
+    membership_events: the cluster membership timeline
+        (``(sim_time, node, from_state, to_state)`` tuples) up to the
+        failure — empty for single-node runs. When a distributed run
+        dies this answers "which node, and when did the detector know".
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class TrainingFailure(RuntimeError):
         cause: BaseException | None = None,
         violations: tuple[str, ...] = (),
         fault_events: tuple[dict, ...] = (),
+        membership_events: tuple[tuple, ...] = (),
     ):
         super().__init__(message)
         self.iteration = iteration
@@ -74,6 +80,9 @@ class TrainingFailure(RuntimeError):
         self.cause = cause
         self.violations = tuple(violations)
         self.fault_events = tuple(fault_events)
+        self.membership_events = tuple(
+            tuple(event) for event in membership_events
+        )
 
 
 @dataclass(frozen=True)
@@ -123,6 +132,42 @@ class RecoveryPolicy:
             max_retries=self.max_transfer_retries,
             backoff_seconds=self.backoff_seconds,
             host_fallback=self.host_fallback,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterRecoveryPolicy(RecoveryPolicy):
+    """A :class:`RecoveryPolicy` for distributed (LDA*) runs.
+
+    Adds the heartbeat failure-detector thresholds (simulated seconds)
+    that turn node silence into a membership verdict — see
+    :class:`~repro.cluster.membership.MembershipMonitor`. The GPU knobs
+    are inherited unchanged: the transfer-retry budget doubles as the
+    Ethernet retry budget, and rollback/validation work identically.
+    """
+
+    #: Heartbeat period for the membership monitor.
+    heartbeat_interval: float = 0.05
+    #: Silence before a node becomes ``suspect``.
+    suspect_after: float = 0.5
+    #: Silence before a node is declared ``dead`` (permanent).
+    dead_after: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # Delegate range checks to HeartbeatConfig so the two can't
+        # drift apart; surfaced here so bad CLI values fail early.
+        self.heartbeat_config()
+
+    def heartbeat_config(self):
+        """The :class:`~repro.cluster.membership.HeartbeatConfig` these
+        thresholds describe."""
+        from repro.cluster.membership import HeartbeatConfig
+
+        return HeartbeatConfig(
+            interval=self.heartbeat_interval,
+            suspect_after=self.suspect_after,
+            dead_after=self.dead_after,
         )
 
 

@@ -1,15 +1,33 @@
 """Fault injection for chaos-testing the training stack.
 
 Declarative :class:`FaultPlan` (JSON-loadable) applied to the simulated
-machine by a :class:`FaultInjector` at iteration boundaries. The fault
-*exceptions* live in :mod:`repro.gpusim.errors` (the simulator raises
-them without depending on this package); the recovery policies that
-react to them live in :mod:`repro.engine.recovery`.
+machine by a :class:`FaultInjector` at iteration boundaries. Fault
+kinds split into two domains: GPU kinds target the simulated multi-GPU
+machine, cluster kinds (``node_failure``, the ``eth_link_*`` family,
+``ps_shard_corruption``) target the Ethernet cluster and its parameter
+server. The fault *exceptions* live in :mod:`repro.gpusim.errors` (the
+simulator raises them without depending on this package); the recovery
+policies that react to them live in :mod:`repro.engine.recovery`.
 
 See ``docs/ROBUSTNESS.md`` for the fault model and worked examples.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    CLUSTER_FAULT_KINDS,
+    FAULT_KINDS,
+    GPU_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    cluster_chaos_plan,
+)
 
-__all__ = ["FAULT_KINDS", "FaultInjector", "FaultPlan", "FaultSpec"]
+__all__ = [
+    "CLUSTER_FAULT_KINDS",
+    "FAULT_KINDS",
+    "GPU_FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "cluster_chaos_plan",
+]

@@ -10,6 +10,14 @@ The injector is driven by the training loop at two boundaries:
   run-state checkpoint write; truncates the file for matching
   ``checkpoint_truncation`` specs.
 
+Faults target one of two substrates: GPU kinds flip state on the
+simulated :class:`~repro.gpusim.platform.Machine` (devices, PCIe/NVLink
+links), cluster kinds on the
+:class:`~repro.cluster.network.ClusterNetwork` (nodes, Ethernet NICs)
+and the :class:`~repro.cluster.paramserver.ShardedParameterServer`
+(shard corruption). A plan whose kinds have no matching substrate is
+rejected at construction with an actionable error.
+
 Each applied fault is appended to :attr:`FaultInjector.events` (plain
 dicts: kind, iteration, target, sim-agnostic details) and counted in the
 telemetry counter ``faults_injected_total{kind=...}`` so chaos runs show
@@ -25,6 +33,8 @@ from repro.faults.plan import FaultPlan
 from repro.telemetry.context import emit_counter
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.network import ClusterNetwork
+    from repro.cluster.paramserver import ShardedParameterServer
     from repro.gpusim.platform import Machine
 
 __all__ = ["FaultInjector"]
@@ -33,19 +43,40 @@ __all__ = ["FaultInjector"]
 class FaultInjector:
     """Stateful executor for one :class:`FaultPlan` over one run."""
 
-    def __init__(self, plan: FaultPlan, machine: "Machine | None" = None):
+    def __init__(
+        self,
+        plan: FaultPlan,
+        machine: "Machine | None" = None,
+        cluster: "ClusterNetwork | None" = None,
+        server: "ShardedParameterServer | None" = None,
+    ):
         self.plan = plan
         self.machine = machine
+        self.cluster = cluster
+        self.server = server
         self.events: list[dict] = []
         self._saves_seen = 0
         # Each spec fires at most once, even when recovery rolls the run
         # back and the trigger iteration is executed again.
         self._applied: set[int] = set()
         if machine is None and plan.needs_machine:
-            kinds = sorted({f.kind for f in plan if f.kind != "checkpoint_truncation"})
+            kinds = sorted({f.kind for f in plan if f.domain == "gpu"})
             raise ValueError(
-                "fault plan targets simulated hardware "
+                "fault plan targets simulated GPU hardware "
                 f"({', '.join(kinds)}) but no machine was provided"
+            )
+        if cluster is None and plan.needs_cluster:
+            kinds = sorted({f.kind for f in plan if f.domain == "cluster"})
+            raise ValueError(
+                "fault plan targets the simulated cluster "
+                f"({', '.join(kinds)}) but no cluster network was provided"
+            )
+        if server is None and any(
+            f.kind == "ps_shard_corruption" for f in plan
+        ):
+            raise ValueError(
+                "fault plan targets parameter-server shards "
+                "(ps_shard_corruption) but no parameter server was provided"
             )
         # (restore_iteration, spec) for until-bounded link outages.
         self._pending_restores: list[tuple[int, object]] = []
@@ -71,6 +102,20 @@ class FaultInjector:
             )
         return gpus[device_id]
 
+    def _node(self, node_id: int) -> int:
+        if not 0 <= node_id < self.cluster.num_nodes:
+            raise ValueError(
+                f"fault targets node {node_id} but cluster has nodes "
+                f"0..{self.cluster.num_nodes - 1}"
+            )
+        return node_id
+
+    def _find_link(self, spec):
+        """Resolve a link label on the substrate the fault kind targets."""
+        if spec.kind.startswith("eth_"):
+            return self.cluster.find_link(spec.link)
+        return self.machine.find_link(spec.link)
+
     # ------------------------------------------------------------------
     def on_iteration_start(self, iteration: int) -> None:
         """Apply all hardware faults due at *iteration*."""
@@ -79,8 +124,8 @@ class FaultInjector:
         still_pending = []
         for restore_at, spec in self._pending_restores:
             if iteration >= restore_at:
-                link = self.machine.find_link(spec.link)
-                if spec.kind == "link_down":
+                link = self._find_link(spec)
+                if spec.kind.endswith("link_down"):
                     link.set_down(False)
                 else:  # link_degraded
                     link.degrade(1.0)
@@ -101,17 +146,20 @@ class FaultInjector:
             if spec.kind == "device_failure":
                 self._device(spec.device).fail()
                 self._record(spec, device=spec.device)
-            elif spec.kind == "link_down":
-                link = self.machine.find_link(spec.link)
+            elif spec.kind == "node_failure":
+                self.cluster.fail_node(self._node(spec.node))
+                self._record(spec, node=spec.node)
+            elif spec.kind in ("link_down", "eth_link_down"):
+                link = self._find_link(spec)
                 link.set_down(True)
                 if spec.until is not None:
                     self._pending_restores.append((spec.until, spec))
                 self._record(spec, link=spec.link, until=spec.until)
-            elif spec.kind == "link_flaky":
-                self.machine.find_link(spec.link).fail_next(spec.count)
+            elif spec.kind in ("link_flaky", "eth_link_flaky"):
+                self._find_link(spec).fail_next(spec.count)
                 self._record(spec, link=spec.link, count=spec.count)
-            elif spec.kind == "link_degraded":
-                self.machine.find_link(spec.link).degrade(spec.scale)
+            elif spec.kind in ("link_degraded", "eth_link_degraded"):
+                self._find_link(spec).degrade(spec.scale)
                 if spec.until is not None:
                     self._pending_restores.append((spec.until, spec))
                 self._record(spec, link=spec.link, scale=spec.scale,
@@ -122,6 +170,9 @@ class FaultInjector:
             elif spec.kind == "kernel_fault":
                 self._device(spec.device).inject_kernel_fault(spec.op)
                 self._record(spec, device=spec.device, op=spec.op)
+            elif spec.kind == "ps_shard_corruption":
+                self.server.corrupt_shard(self._node(spec.node))
+                self._record(spec, node=spec.node)
 
     # ------------------------------------------------------------------
     def on_checkpoint_saved(self, path: str | os.PathLike) -> None:

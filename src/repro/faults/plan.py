@@ -30,6 +30,19 @@ Supported kinds (see ``docs/ROBUSTNESS.md`` for the full fault model):
 - ``checkpoint_truncation`` — the ``at_save``-th run-state checkpoint
   written (1-based) is truncated to half its size after the write,
   simulating a crash mid-``fsync``.
+
+Cluster-level kinds (the LDA* fault domain, docs/ROBUSTNESS.md §8):
+
+- ``node_failure`` — cluster ``node`` dies permanently at
+  ``iteration`` (machine gone, NIC with it); detected by the heartbeat
+  membership monitor.
+- ``eth_link_down`` / ``eth_link_flaky`` / ``eth_link_degraded`` — the
+  Ethernet NIC ``link`` (``eth[2]``) mirrors the GPU link fault family:
+  out of service (optionally ``until``), next ``count`` transfers fail
+  transiently, or bandwidth scaled by ``scale``.
+- ``ps_shard_corruption`` — the primary φ shard copies homed on
+  ``node`` are silently corrupted at ``iteration`` (detected by shard
+  checksums on the next pull and repaired from the chained replica).
 """
 
 from __future__ import annotations
@@ -38,22 +51,42 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-__all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "CLUSTER_FAULT_KINDS",
+    "GPU_FAULT_KINDS",
+    "cluster_chaos_plan",
+]
 
-FAULT_KINDS = (
+#: Kinds that target the simulated multi-GPU machine.
+GPU_FAULT_KINDS = (
     "device_failure",
     "link_down",
     "link_flaky",
     "link_degraded",
     "transfer_corruption",
     "kernel_fault",
+)
+
+#: Kinds that target the simulated cluster (LDA*'s fault domain).
+CLUSTER_FAULT_KINDS = (
+    "node_failure",
+    "eth_link_down",
+    "eth_link_flaky",
+    "eth_link_degraded",
+    "ps_shard_corruption",
+)
+
+FAULT_KINDS = GPU_FAULT_KINDS + CLUSTER_FAULT_KINDS + (
     "checkpoint_truncation",
 )
 
 #: Every field a fault entry may carry (validated in from_dict).
 _FIELDS = frozenset(
-    ("kind", "iteration", "device", "link", "count", "until", "scale",
-     "op", "at_save")
+    ("kind", "iteration", "device", "node", "link", "count", "until",
+     "scale", "op", "at_save")
 )
 
 #: Which optional fields each kind requires (beyond kind itself).
@@ -65,6 +98,11 @@ _REQUIRED = {
     "transfer_corruption": ("iteration", "link"),
     "kernel_fault": ("iteration", "device"),
     "checkpoint_truncation": ("at_save",),
+    "node_failure": ("iteration", "node"),
+    "eth_link_down": ("iteration", "link"),
+    "eth_link_flaky": ("iteration", "link"),
+    "eth_link_degraded": ("iteration", "link", "scale"),
+    "ps_shard_corruption": ("iteration", "node"),
 }
 
 
@@ -75,6 +113,7 @@ class FaultSpec:
     kind: str
     iteration: int | None = None     # trigger iteration (0-based)
     device: int | None = None        # GPU id (device faults)
+    node: int | None = None          # cluster node id (cluster faults)
     link: str | None = None          # link label (link faults)
     count: int = 1                   # flaky / corruption repetitions
     until: int | None = None         # restore iteration (link outages)
@@ -94,6 +133,8 @@ class FaultSpec:
                 )
         if self.iteration is not None and self.iteration < 0:
             raise ValueError("iteration must be >= 0")
+        if self.node is not None and self.node < 0:
+            raise ValueError("node must be >= 0")
         if self.count < 1:
             raise ValueError("count must be >= 1")
         if self.until is not None:
@@ -103,6 +144,16 @@ class FaultSpec:
             raise ValueError("scale must be positive")
         if self.at_save is not None and self.at_save < 1:
             raise ValueError("at_save is 1-based and must be >= 1")
+
+    @property
+    def domain(self) -> str:
+        """What this fault targets: ``"gpu"`` (the simulated machine),
+        ``"cluster"`` (the Ethernet cluster), or ``"checkpoint"``."""
+        if self.kind in CLUSTER_FAULT_KINDS:
+            return "cluster"
+        if self.kind in GPU_FAULT_KINDS:
+            return "gpu"
+        return "checkpoint"
 
     def to_dict(self) -> dict:
         """JSON-ready dict with defaulted/None fields dropped."""
@@ -133,8 +184,13 @@ class FaultPlan:
 
     @property
     def needs_machine(self) -> bool:
-        """True when any fault targets simulated hardware (device/link)."""
-        return any(f.kind != "checkpoint_truncation" for f in self.faults)
+        """True when any fault targets the simulated GPU machine."""
+        return any(f.domain == "gpu" for f in self.faults)
+
+    @property
+    def needs_cluster(self) -> bool:
+        """True when any fault targets the simulated cluster."""
+        return any(f.domain == "cluster" for f in self.faults)
 
     # -- serialization -------------------------------------------------
     @classmethod
@@ -205,3 +261,22 @@ class FaultPlan:
 
     def to_json(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+def cluster_chaos_plan(num_nodes: int = 4) -> FaultPlan:
+    """The default cluster chaos plan (docs/ROBUSTNESS.md §8).
+
+    One node death plus one Ethernet flap on a *num_nodes*-node LDA*
+    run: node ``num_nodes − 2`` dies permanently at iteration 2, and
+    node 0's NIC drops its next three transfer attempts at iteration 4.
+    Under ``--recovery elastic`` the run must complete with a final φ
+    bit-identical to the fault-free run; under ``--recovery none`` it
+    must fail with a structured :class:`TrainingFailure` naming the
+    dead node and the membership timeline.
+    """
+    if num_nodes < 2:
+        raise ValueError("the cluster chaos plan needs at least 2 nodes")
+    return FaultPlan(faults=(
+        FaultSpec(kind="node_failure", iteration=2, node=num_nodes - 2),
+        FaultSpec(kind="eth_link_flaky", iteration=4, link="eth[0]", count=3),
+    ))

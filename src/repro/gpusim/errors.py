@@ -18,6 +18,7 @@ from __future__ import annotations
 __all__ = [
     "FaultError",
     "DeviceLost",
+    "NodeLost",
     "LinkDown",
     "SyncPathError",
     "KernelFault",
@@ -31,11 +32,37 @@ class FaultError(RuntimeError):
 class DeviceLost(FaultError):
     """An operation touched a device that has failed (permanent loss)."""
 
+    #: Human name of the failed unit ("GPU" here, "node" for NodeLost);
+    #: recovery messages use it so a cluster failure never reads "GPU 2".
+    unit = "GPU"
+
     def __init__(self, device_id: int, message: str | None = None):
         self.device_id = int(device_id)
         super().__init__(
             message or f"device {device_id} is lost (simulated failure)"
         )
+
+
+class NodeLost(DeviceLost):
+    """A cluster node was declared dead by the membership failure
+    detector (heartbeat lease expired — see
+    :mod:`repro.cluster.membership`).
+
+    Subclasses :class:`DeviceLost` because a node is the cluster's unit
+    of permanent loss exactly as a GPU is the machine's: the engine's
+    elastic-recovery path (snapshot restore + re-partition over the
+    survivors) handles both through the same
+    :meth:`~repro.engine.algorithm.Algorithm.handle_device_loss` hook.
+    """
+
+    unit = "node"
+
+    def __init__(self, node_id: int, message: str | None = None):
+        super().__init__(
+            node_id,
+            message or f"node {node_id} is lost (heartbeat lease expired)",
+        )
+        self.node_id = int(node_id)
 
 
 class LinkDown(FaultError):
