@@ -110,6 +110,37 @@ def _add_sync_arg(p: argparse.ArgumentParser) -> None:
         "(see docs/SYNC.md)")
 
 
+def _add_internode_args(p: argparse.ArgumentParser) -> None:
+    """The multi-node flags of ``train`` (DistributedCuLDA).
+
+    ``--inter-sync`` choices come from the cluster-collective registry
+    (plus ``auto``), mirroring how ``--sync`` tracks the GPU registry.
+    """
+    from repro.comm import cluster_sync_choices
+
+    choices = cluster_sync_choices()
+    p.add_argument("--nodes", type=_positive_int, default=1,
+                   help="cluster nodes for multi-node CuLDA; each node "
+                   "is one --platform machine joined by 10 GbE "
+                   "(default: 1 = the single-machine paper setup; see "
+                   "docs/DISTRIBUTED.md)")
+    p.add_argument("--gpus-per-node", type=_positive_int, default=None,
+                   metavar="G",
+                   help="GPUs on each node with --nodes > 1 "
+                   "(default: --gpus)")
+    p.add_argument("--staleness", type=_nonneg_int, default=0,
+                   metavar="S",
+                   help="bounded staleness: nodes run up to S iterations "
+                   "on a stale global φ between inter-node syncs "
+                   "(0 = synchronous, bit-identical to one machine; "
+                   "--nodes > 1 only)")
+    p.add_argument(
+        "--inter-sync", choices=choices, default="auto",
+        help="inter-node φ-sync backend: 'auto' (default) lets the "
+        "cluster planner pick the cheapest per sync; forcing one of " +
+        ", ".join(choices[1:]) + " pins it (--nodes > 1 only)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lda",
@@ -145,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--platform", choices=PLATFORMS, default="volta",
                    help="simulated platform (culda/saberlda)")
     t.add_argument("--gpus", type=_positive_int, default=1)
+    _add_internode_args(t)
     t.add_argument("--workers", type=_positive_int, default=4,
                    help="cluster size (ldastar)")
     t.add_argument("--likelihood-every", type=_nonneg_int, default=0)
@@ -396,6 +428,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
               "ldastar (fault injection targets the simulated multi-GPU "
               "machine or the simulated cluster)", file=sys.stderr)
         return 2
+    if args.nodes > 1 and args.algo != "culda":
+        print("error: --nodes > 1 requires --algo culda (multi-node "
+              "training is the DistributedCuLDA trainer; ldastar has "
+              "its own --workers cluster)", file=sys.stderr)
+        return 2
+    if args.nodes == 1 and (args.staleness > 0 or args.inter_sync != "auto"):
+        print("error: --staleness/--inter-sync only apply with "
+              "--nodes > 1 (a single node has no inter-node sync leg)",
+              file=sys.stderr)
+        return 2
+    if args.nodes > 1 and (args.faults or args.recovery):
+        print("error: --faults/--recovery are not supported with "
+              "--nodes > 1 (cluster fault experiments run on --algo "
+              "ldastar; see docs/DISTRIBUTED.md)", file=sys.stderr)
+        return 2
     fault_plan = _load_fault_plan(args.faults)
     if fault_plan is _BAD_PLAN:
         return 2
@@ -420,7 +467,6 @@ def _cmd_train(args: argparse.Namespace) -> int:
             print("error: saberlda supports a single GPU only",
                   file=sys.stderr)
             return 2
-        machine = make_machine(args.platform, args.gpus)
         config = TrainConfig(
             num_topics=args.topics,
             iterations=args.iterations,
@@ -428,12 +474,27 @@ def _cmd_train(args: argparse.Namespace) -> int:
             compressed=not args.no_compression,
             sync_algorithm=args.sync,
             likelihood_every=args.likelihood_every,
+            inter_sync=args.inter_sync,
+            staleness=args.staleness,
         )
         if args.algo == "saberlda":
+            machine = make_machine(args.platform, args.gpus)
             from repro.baselines import SaberLDA
 
             trainer = SaberLDA(corpus, machine, config, registry=registry)
+        elif args.nodes > 1:
+            from repro.core import DistributedCuLDA
+
+            gpn = args.gpus_per_node or args.gpus
+            machines = [
+                make_machine(args.platform, gpn) for _ in range(args.nodes)
+            ]
+            machine = machines[0]
+            trainer = DistributedCuLDA(
+                corpus, machines, config=config, registry=registry
+            )
         else:
+            machine = make_machine(args.platform, args.gpus)
             trainer = CuLDA(
                 corpus, machine=machine, config=config, registry=registry
             )

@@ -44,6 +44,10 @@ class ClusterNetwork:
             for i in range(num_nodes)
         ]
         self._alive = [True] * num_nodes
+        #: Every delivered message as ``(op, src, dst, nbytes, start,
+        #: end)`` — the audit trail tests use to prove traffic never
+        #: touches a dead node.
+        self.messages: list[tuple[str, int, int, float, float, float]] = []
 
     # ------------------------------------------------------------------
     # Fault hooks (driven by repro.faults.FaultInjector)
@@ -116,7 +120,9 @@ class ClusterNetwork:
         backoff = retry.backoff_seconds if retry is not None else 0.0
         for attempt in range(attempts):
             try:
-                return self._send_once(src, dst, nbytes, earliest)
+                start, end = self._send_once(src, dst, nbytes, earliest)
+                self.messages.append((op, src, dst, nbytes, start, end))
+                return start, end
             except LinkDown as exc:
                 if not exc.transient or attempt == attempts - 1:
                     raise SyncPathError(

@@ -22,6 +22,17 @@ none of them dispatches on algorithm names themselves. See
 ``docs/SYNC.md`` for the planner design and decision tables.
 """
 
+from repro.comm.cluster import (
+    ClusterCollective,
+    ClusterSyncContext,
+    ClusterSyncResult,
+    EthRingCollective,
+    ParamServerCollective,
+    cluster_collective_names,
+    cluster_collectives,
+    get_cluster_collective,
+    register_cluster_collective,
+)
 from repro.comm.collectives import (
     Collective,
     CostEstimate,
@@ -38,9 +49,13 @@ from repro.comm.collectives import (
 )
 from repro.comm.planner import (
     AUTO,
+    ClusterSyncPlan,
+    ClusterSyncPlanner,
     SyncPlan,
     SyncPlanner,
+    cluster_sync_choices,
     decisions_from_registry,
+    plan_cluster_sync,
     plan_sync,
     sync_choices,
 )
@@ -55,27 +70,40 @@ from repro.comm.transfer import (
 
 __all__ = [
     "AUTO",
+    "ClusterCollective",
+    "ClusterSyncContext",
+    "ClusterSyncPlan",
+    "ClusterSyncPlanner",
+    "ClusterSyncResult",
     "Collective",
     "CostEstimate",
+    "EthRingCollective",
     "LinkInfo",
     "NVLINK_CLASS_GBPS",
+    "ParamServerCollective",
     "SyncContext",
     "SyncPlan",
     "SyncPlanner",
     "Topology",
     "TransferRetry",
     "broadcast_phi",
+    "cluster_collective_names",
+    "cluster_collectives",
+    "cluster_sync_choices",
     "collective_names",
     "collectives",
     "cpu_gather_sync",
     "decisions_from_registry",
     "fanin_messages",
     "fanout_messages",
+    "get_cluster_collective",
     "get_collective",
     "hierarchical_allreduce_phi",
+    "plan_cluster_sync",
     "plan_sync",
     "reduce_phi_tree",
     "register",
+    "register_cluster_collective",
     "resilient_p2p",
     "ring_allreduce_phi",
     "sync_choices",

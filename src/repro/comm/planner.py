@@ -26,6 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.comm.cluster import (
+    ClusterCollective,
+    cluster_collective_names,
+    cluster_collectives,
+    get_cluster_collective,
+)
 from repro.comm.collectives import (
     Collective,
     CostEstimate,
@@ -44,8 +50,12 @@ __all__ = [
     "AUTO",
     "SyncPlan",
     "SyncPlanner",
+    "ClusterSyncPlan",
+    "ClusterSyncPlanner",
     "plan_sync",
+    "plan_cluster_sync",
     "sync_choices",
+    "cluster_sync_choices",
     "decisions_from_registry",
 ]
 
@@ -147,7 +157,114 @@ class SyncPlanner:
             )
 
 
+@dataclass(frozen=True)
+class ClusterSyncPlan:
+    """One resolved inter-node sync decision (multi-node CuLDA's φ
+    exchange leg): which cluster collective runs, over which live
+    nodes, and what the replay-exact cost model predicted."""
+
+    algorithm: str
+    collective: ClusterCollective
+    estimate: CostEstimate
+    forced: bool
+    topology: Topology
+    nodes: tuple[int, ...]
+
+
+class ClusterSyncPlanner:
+    """Picks the cheapest feasible inter-node backend for a payload.
+
+    The cluster analog of :class:`SyncPlanner`: the topology snapshot
+    comes from :meth:`Topology.from_cluster`, which excludes nodes the
+    failure detector has declared dead — so a plan can never route
+    through one — and each candidate's estimate *replays* its exact
+    message schedule on the snapshot, making the prediction equal to
+    the simulator's measurement for the same ready times.
+    """
+
+    def plan(
+        self,
+        network,
+        shape: tuple[int, int],
+        entry_bytes: int = 4,
+        retry: TransferRetry | None = None,
+        algorithm: str = AUTO,
+        nodes: list[int] | None = None,
+        server=None,
+    ) -> ClusterSyncPlan:
+        """Resolve *algorithm* into a :class:`ClusterSyncPlan`.
+
+        *nodes* defaults to every detector-alive node; dead nodes are
+        filtered out of an explicit list too. Raises
+        :class:`~repro.gpusim.errors.SyncPathError` when no backend has
+        a usable path and ``ValueError`` for an unknown name.
+        """
+        topo = Topology.from_cluster(network)
+        live = (
+            topo.devices if nodes is None
+            else tuple(n for n in nodes if n in topo.devices)
+        )
+        forced = algorithm != AUTO
+        if forced:
+            chosen = get_cluster_collective(algorithm)
+            estimate = chosen.estimate(
+                topo, live, shape, entry_bytes, retry=retry, server=server
+            )
+        else:
+            chosen = None
+            estimate = None
+            for cand in cluster_collectives():
+                est = cand.estimate(
+                    topo, live, shape, entry_bytes, retry=retry, server=server
+                )
+                if est.feasible and (
+                    estimate is None or est.seconds < estimate.seconds
+                ):
+                    chosen, estimate = cand, est
+            if chosen is None:
+                dead = sorted(
+                    info.name for info in topo.host.values() if not info.up
+                )
+                raise SyncPathError(
+                    dead[0] if dead else "eth", "cluster_sync_plan",
+                    devices=live,
+                )
+        plan = ClusterSyncPlan(
+            algorithm=chosen.name,
+            collective=chosen,
+            estimate=estimate,
+            forced=forced,
+            topology=topo,
+            nodes=live,
+        )
+        SyncPlanner._emit(plan)
+        return plan
+
+
 _PLANNER = SyncPlanner()
+_CLUSTER_PLANNER = ClusterSyncPlanner()
+
+
+def plan_cluster_sync(
+    network,
+    shape: tuple[int, int],
+    entry_bytes: int = 4,
+    retry: TransferRetry | None = None,
+    algorithm: str = AUTO,
+    nodes: list[int] | None = None,
+    server=None,
+) -> ClusterSyncPlan:
+    """Module-level convenience over one shared :class:`ClusterSyncPlanner`."""
+    return _CLUSTER_PLANNER.plan(
+        network, shape, entry_bytes=entry_bytes, retry=retry,
+        algorithm=algorithm, nodes=nodes, server=server,
+    )
+
+
+def cluster_sync_choices() -> tuple[str, ...]:
+    """Every valid ``--inter-sync`` value: ``auto`` plus the cluster
+    registry, in registration order."""
+    return (AUTO, *cluster_collective_names())
 
 
 def plan_sync(

@@ -21,6 +21,7 @@ Public API
 from repro.core.alias import AliasTable
 from repro.core.blockplan import BlockPlan, plan_blocks, simulate_block_schedule
 from repro.core.culda import CuLDA, IterationStats, TrainConfig, TrainResult
+from repro.core.distributed import DistributedCuLDA
 from repro.core.hyperopt import optimize_hyperparameters, update_alpha, update_beta
 from repro.core.index_tree import IndexTree
 from repro.core.inference import InferenceResult, infer_documents
@@ -31,6 +32,7 @@ from repro.core.serialization import ModelCheckpoint, load_model, save_model
 __all__ = [
     "AliasTable",
     "CuLDA",
+    "DistributedCuLDA",
     "TrainConfig",
     "TrainResult",
     "IterationStats",

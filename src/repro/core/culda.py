@@ -101,6 +101,14 @@ class TrainConfig:
     chunks_per_gpu: int | None = None   # None → smallest M that fits (§5.1)
     sync_algorithm: str = "auto"        # planner picks; or any registered collective
     overlap_transfers: bool = True
+    # Multi-node (DistributedCuLDA; ignored by the single-machine trainer).
+    #: Inter-node φ-sync backend: "auto" (cluster planner picks) or any
+    #: registered cluster collective ("eth_ring", "param_server").
+    inter_sync: str = "auto"
+    #: Bounded staleness (F+NOMAD): nodes run up to s iterations on a
+    #: stale global φ (plus their own pending updates) between
+    #: inter-node syncs. 0 = synchronous — bit-identical to one machine.
+    staleness: int = 0
     # Analysis.
     likelihood_every: int = 0           # 0 = only at the end
     #: Early stopping: stop once the likelihood plateau's relative

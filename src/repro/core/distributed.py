@@ -1,0 +1,643 @@
+"""DistributedCuLDA: CuLDA_CGS across N nodes × G GPUs.
+
+The paper stops at one machine; this trainer spans the cluster
+substrate with hierarchical synchronization:
+
+1. the corpus is token-balanced into ``C = M × N × G`` chunks by the
+   same planner the single-machine trainer uses — one *global* plan
+   over all ``W = N × G`` workers, so chunk boundaries and per-chunk
+   RNG streams are identical for every (N, G) layout with the same W;
+2. each node runs the paper's intra-node iteration unchanged
+   (WorkSchedule1/2 plus the §5.2 reduce tree, ``--sync`` planned per
+   machine), producing a node-summed φ on every local GPU;
+3. an inter-node leg combines the node sums over the Ethernet fabric
+   through a cluster collective (``eth_ring`` or ``param_server``,
+   chosen by the replay-exact cost planner behind ``--inter-sync
+   auto``), and the global φ is re-broadcast to every GPU.
+
+Because the reduction is exact integer addition and chunk RNGs are
+keyed by global chunk id, synchronous training is **bit-identical**
+across worker layouts (1×4 ≡ 2×2 ≡ 4×1) and across inter-node
+backends — enforced by ``tests/test_distributed.py``.
+
+Bounded staleness (``TrainConfig.staleness = s``, after F+NOMAD): the
+inter-node leg runs every ``s+1`` iterations; in between, each node
+samples against the last global φ *plus its own pending updates*
+(read-your-writes, so token counts are conserved). ``s = 0`` is the
+synchronous mode and degenerates bit-identically; ``num_nodes = 1``
+degenerates to the single-machine trainer exactly (same plan, same
+timings, same checkpoint bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.comm import AUTO, ClusterSyncContext, get_cluster_collective, plan_cluster_sync
+from repro.core.culda import BREAKDOWN_KINDS, CuLDA, TrainConfig
+from repro.core.kernels import accumulate_phi
+from repro.core.likelihood import _doc_log_likelihood, word_log_likelihood
+from repro.core.model import SparseTheta
+from repro.cluster.network import ClusterNetwork
+from repro.cluster.paramserver import ShardedParameterServer
+from repro.corpus.corpus import Corpus
+from repro.engine.algorithm import IterationOutcome
+from repro.engine.results import TrainResult
+from repro.engine.state import RunState
+from repro.gpusim.errors import FaultError
+from repro.gpusim.platform import Machine
+from repro.sched.partition import choose_chunking
+from repro.sched.schedule import (
+    GpuWorker,
+    download_chunk,
+    iteration_trace_stats,
+    run_iteration_resident,
+    run_iteration_streaming,
+    upload_chunk,
+)
+from repro.telemetry.context import emit_counter, emit_gauge, emit_observe
+from repro.telemetry.spans import span
+
+__all__ = ["DistributedCuLDA"]
+
+#: φ travels the wire as int32 entries on the inter-node leg.
+_ENTRY_BYTES = 4
+
+
+class DistributedCuLDA(CuLDA):
+    """CuLDA_CGS on *N* simulated machines joined by a cluster network.
+
+    Parameters
+    ----------
+    corpus: input corpus.
+    machines: one simulated machine per node; all nodes must have the
+        same GPU count (G). A single machine degenerates exactly to
+        :class:`~repro.core.culda.CuLDA`.
+    network: the Ethernet fabric; defaults to a fresh
+        :class:`~repro.cluster.network.ClusterNetwork` over the nodes.
+    num_shards: parameter-server shards for the ``param_server``
+        backend (default: one per node).
+
+    The checkpoint format and ``name`` are shared with the
+    single-machine trainer, so run-state files resume across any
+    layout with the same total worker count.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        machines: Sequence[Machine],
+        network: ClusterNetwork | None = None,
+        config: TrainConfig | None = None,
+        warm_start_phi: np.ndarray | None = None,
+        callbacks=None,
+        registry=None,
+        num_shards: int | None = None,
+    ):
+        machines = list(machines)
+        if not machines:
+            raise ValueError("need at least one machine (node)")
+        gpus = {len(m.gpus) for m in machines}
+        if len(gpus) != 1:
+            raise ValueError(
+                f"all nodes must have the same GPU count; got {sorted(gpus)}"
+            )
+        super().__init__(
+            corpus, machines[0], config,
+            warm_start_phi=warm_start_phi, callbacks=callbacks,
+            registry=registry,
+        )
+        self.machines = machines
+        self.num_nodes = len(machines)
+        cfg = self.config
+        if cfg.staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        if cfg.inter_sync != AUTO:
+            get_cluster_collective(cfg.inter_sync)  # raises on unknown name
+        self.network = network or ClusterNetwork(self.num_nodes)
+        if self.network.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"network has {self.network.num_nodes} node(s), trainer has "
+                f"{self.num_nodes}"
+            )
+        if num_shards is not None and not 1 <= num_shards <= self.num_nodes:
+            raise ValueError("num_shards must be in [1, num_nodes]")
+        self._num_shards = num_shards or self.num_nodes
+        #: Built in init_state (needs φ); exposed for fault wiring.
+        self.server: ShardedParameterServer | None = None
+
+    @property
+    def gpus_per_node(self) -> int:
+        return len(self.machines[0].gpus)
+
+    @property
+    def num_workers(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    # ------------------------------------------------------------------
+    # Algorithm strategy surface
+    # ------------------------------------------------------------------
+    def init_state(self, resume: RunState | None = None) -> RunState:
+        if self.num_nodes == 1:
+            # Exact single-machine degeneration: same plan, same clock,
+            # same checkpoint bytes (no distributed extras).
+            return super().init_state(resume)
+
+        cfg = self.config
+        hyper, kcfg = cfg.hyper(), cfg.kernel_config()
+        N, G = self.num_nodes, self.gpus_per_node
+        W = N * G
+
+        with span("preprocess"):
+            # ONE global plan over all W workers: chunk i belongs to
+            # global worker i % W, worker w = n*G + j lives on node n.
+            # Chunk ids (and therefore RNG streams) are layout-invariant.
+            plan = choose_chunking(
+                self.corpus, W, hyper, kcfg,
+                self.machines[0].gpus[0].spec,
+                chunks_per_gpu=cfg.chunks_per_gpu,
+            )
+            runtimes = self._init_runtimes(plan, hyper, kcfg)
+            if resume is not None:
+                self._restore_runtimes(runtimes, resume, hyper, kcfg)
+        M = plan.chunks_per_gpu
+
+        self._hyper, self._kcfg = hyper, kcfg
+        self._plan, self._runtimes = plan, runtimes
+        self._node_runtimes = [
+            [runtimes[m * W + n * G + j] for m in range(M) for j in range(G)]
+            for n in range(N)
+        ]
+        node_counts = [self._node_phi_counts(n) for n in range(N)]
+        global_phi = self._sum_counts(node_counts)
+
+        # Staleness bookkeeping: the last globally synced φ and each
+        # node's contribution at that sync. Restored from checkpoint
+        # extras when resuming mid-window on the same node count;
+        # otherwise the resume point becomes a fresh sync (exact for
+        # synchronous runs, where cache/base are pure functions of z).
+        cache, base = self._resolve_dist_extras(resume, N, node_counts, global_phi)
+        self._phi_cache, self._node_base = cache, base
+        self._node_counts = node_counts
+        self._global_phi = global_phi
+        self._net_base = 0.0
+        if resume is not None and "dist_net_base" in resume.extras:
+            self._net_base = float(np.asarray(resume.extras["dist_net_base"])[0])
+
+        self._node_workers: list[list[GpuWorker]] = []
+        self._node_dev_chunks: list[list] = []
+        for n, machine in enumerate(self.machines):
+            workers = [
+                GpuWorker(dev, hyper.num_topics, self.corpus.num_words, kcfg)
+                for dev in machine.gpus
+            ]
+            view_host = self._as_phi_dtype(
+                cache + node_counts[n] - base[n], kcfg
+            )
+            dev_chunks = []
+            for w in workers:
+                machine.memcpy_h2d(
+                    w.phi_full, view_host, stream=w.upload, label="h2d:phi"
+                )
+                self._launch_nk(w, kcfg)
+            if M == 1:
+                local = self._node_runtimes[n]
+                dev_chunks = [
+                    upload_chunk(machine, workers[j], local[j])
+                    for j in range(G)
+                ]
+            machine.synchronize()
+            machine.reset_clock()
+            self._node_workers.append(workers)
+            self._node_dev_chunks.append(dev_chunks)
+
+        # Parent-method compatibility (likelihood helpers, summaries).
+        self._workers = self._node_workers[0]
+        self._dev_chunks = self._node_dev_chunks[0]
+        self._t_prev_node = [0.0] * N
+        self._cluster_time = 0.0
+        self._peak_device_bytes = 0
+
+        self.server = ShardedParameterServer(
+            cache.copy(), self._num_shards, self.network
+        )
+
+        state = resume if resume is not None else RunState(algo=self.name)
+        self._iter_index = state.iteration
+        self._sim_base = state.sim_seconds
+        self.capture_state(state)
+        return state
+
+    def start_event(self, state: RunState) -> dict:
+        event = super().start_event(state)
+        if self.num_nodes > 1:
+            event.update(
+                num_nodes=self.num_nodes,
+                gpus_per_node=self.gpus_per_node,
+                inter_sync=self.config.inter_sync,
+                staleness=self.config.staleness,
+            )
+        return event
+
+    def run_iteration(self, state: RunState) -> IterationOutcome:
+        if self.num_nodes == 1:
+            return super().run_iteration(state)
+
+        cfg = self.config
+        N, G = self.num_nodes, self.gpus_per_node
+        hyper, kcfg = self._hyper, self._kcfg
+        it = self._iter_index
+        self._iter_index += 1
+        sync_round = cfg.staleness == 0 or it % (cfg.staleness + 1) == 0
+        retry = self._transfer_retry()
+
+        # --- intra-node leg: the paper's iteration, per machine --------
+        t0_node = list(self._t_prev_node)
+        trace_marks, ready, dt_intra = [], [], []
+        for n, machine in enumerate(self.machines):
+            iv0 = len(machine.trace.intervals)
+            workers = self._node_workers[n]
+            local = self._node_runtimes[n]
+            with span("iteration"):
+                if self._plan.chunks_per_gpu == 1:
+                    run_iteration_resident(
+                        machine, workers, local, self._node_dev_chunks[n],
+                        hyper, kcfg, cfg.sync_algorithm, retry=retry,
+                    )
+                else:
+                    run_iteration_streaming(
+                        machine, workers, local, hyper, kcfg,
+                        self._plan.chunks_per_gpu, cfg.sync_algorithm,
+                        overlap=cfg.overlap_transfers, retry=retry,
+                    )
+                if sync_round:
+                    # Leader extraction: the node-summed φ leaves GPU 0
+                    # for the NIC.
+                    machine.memcpy_d2h(
+                        workers[0].phi_full, stream=workers[0].download,
+                        label="d2h:node_phi",
+                    )
+                t_now = machine.synchronize()
+            dt = t_now - self._t_prev_node[n]
+            self._t_prev_node[n] = t_now
+            trace_marks.append(iv0)
+            dt_intra.append(dt)
+            ready.append(self._cluster_time + dt)
+
+        # After the intra all-reduce every GPU on node n holds the sum
+        # of node n's chunk counts — the node's contribution.
+        node_counts = [
+            self._node_workers[n][0].phi_full.data.astype(np.int64, copy=True)
+            for n in range(N)
+        ]
+        pending = [node_counts[n] - self._node_base[n] for n in range(N)]
+        self._node_counts = node_counts
+        self._global_phi = self._sum_counts(node_counts)
+
+        # --- inter-node leg --------------------------------------------
+        shape = node_counts[0].shape
+        internode_bytes = 0.0
+        if sync_round:
+            with span("cluster_sync_plan"):
+                plan = plan_cluster_sync(
+                    self.network, shape, entry_bytes=_ENTRY_BYTES,
+                    retry=retry, algorithm=cfg.inter_sync, server=self.server,
+                )
+            if len(plan.nodes) != N:
+                raise FaultError(
+                    "multi-node CuLDA requires all nodes alive; cluster "
+                    f"has {len(plan.nodes)} of {N} (node loss is handled "
+                    "by the LDA* trainer only — see docs/DISTRIBUTED.md)"
+                )
+            result = plan.collective.allreduce(
+                ClusterSyncContext(
+                    network=self.network, nodes=plan.nodes,
+                    node_counts=node_counts, pending=pending, ready=ready,
+                    entry_bytes=_ENTRY_BYTES, retry=retry, server=self.server,
+                )
+            )
+            if plan.algorithm != "param_server" and self.server is not None:
+                # Keep the server replica in lockstep so backends can
+                # alternate mid-run without drift.
+                self.server.phi = result.phi
+            done = list(result.done)
+            internode_bytes = result.bytes_on_wire
+            self._phi_cache = result.phi.astype(np.int64, copy=True)
+            self._node_base = [c.copy() for c in node_counts]
+            views = [self._phi_cache] * N
+        else:
+            done = ready
+            views = [self._phi_cache + pending[n] for n in range(N)]
+
+        # --- redistribution: every GPU gets its node's φ view ----------
+        redist = []
+        for n, machine in enumerate(self.machines):
+            view_host = self._as_phi_dtype(views[n], kcfg)
+            t_a = self._t_prev_node[n]
+            for w in self._node_workers[n]:
+                machine.memcpy_h2d(
+                    w.phi_full, view_host, stream=w.upload,
+                    label="h2d:phi_global",
+                )
+                self._launch_nk(w, kcfg)
+            t_b = machine.synchronize()
+            redist.append(t_b - t_a)
+            self._t_prev_node[n] = t_b
+
+        finish = [done[n] + redist[n] for n in range(N)]
+        t_next = max(finish)
+        for n in range(N):
+            emit_counter(
+                "internode_stall_seconds_total", t_next - finish[n],
+                help="time nodes wait at the inter-node sync barrier",
+                node=str(n),
+            )
+        dt_iter = t_next - self._cluster_time
+        self._cluster_time = t_next
+        net_seconds = max(done) - max(ready) if sync_round else 0.0
+
+        # --- stats (same aggregation as the single-machine trainer) ----
+        runtimes = self._runtimes
+        kd = np.array([r.last_stats.mean_kd for r in runtimes])
+        p1 = np.array([r.last_stats.p1_fraction for r in runtimes])
+        weights = np.array([r.chunk.num_tokens for r in runtimes], dtype=float)
+        weights /= weights.sum()
+        tps = self.corpus.num_tokens / dt_iter if dt_iter > 0 else 0.0
+
+        sync_seconds, p2p_bytes = 0.0, 0.0
+        busy: dict[str, float] = {}
+        for n, machine in enumerate(self.machines):
+            s, p, b = iteration_trace_stats(
+                machine.trace.intervals[trace_marks[n]:],
+                [w.device.device_id for w in self._node_workers[n]],
+                t0_node[n], self._t_prev_node[n],
+            )
+            sync_seconds += s
+            p2p_bytes += p
+            for d, f in b.items():
+                busy[f"{n}.{d}"] = f
+
+        emit_observe(
+            "iteration_sim_seconds", dt_iter,
+            help="simulated duration of one training iteration",
+        )
+        emit_gauge(
+            "train_tokens_per_sec", tps,
+            help="simulated sampling throughput (Eq 2)",
+        )
+        for dev, f in busy.items():
+            emit_gauge(
+                "device_busy_fraction", f,
+                help="device busy share of the last iteration",
+                device=dev,
+            )
+        return IterationOutcome(
+            sim_seconds=dt_iter,
+            tokens_per_sec=tps,
+            stats={
+                "mean_kd": float(kd @ weights),
+                "p1_fraction": float(p1 @ weights),
+                "network_seconds": net_seconds,
+                "compute_seconds": max(dt_intra),
+            },
+            sync_event={
+                "sync_seconds": sync_seconds + net_seconds,
+                "p2p_bytes": p2p_bytes,
+            },
+            event={
+                "mean_kd": float(kd @ weights),
+                "p1_fraction": float(p1 @ weights),
+                "sync_round": sync_round,
+                "internode_bytes": internode_bytes,
+                "device_busy_fraction": busy,
+                "phi": lambda g=self._global_phi: g.astype(np.int32).copy(),
+            },
+        )
+
+    def log_likelihood(self, state: RunState) -> float:
+        if self.num_nodes == 1:
+            return super().log_likelihood(state)
+        with span("likelihood"):
+            hyper = self._hyper
+            phi = self._global_phi
+            n_k = phi.sum(axis=1)
+            ll = word_log_likelihood(phi, n_k, hyper, self.corpus.num_words)
+            for r in self._runtimes:
+                ll += _doc_log_likelihood(r.theta, r.chunk.doc_lengths, hyper)
+            return ll / self.corpus.num_tokens
+
+    def capture_state(self, state: RunState) -> None:
+        if self.num_nodes == 1:
+            super().capture_state(state)
+            return
+        state.phi = self._global_phi.astype(np.int32).copy()
+        state.topics = [r.topics for r in self._runtimes]
+        state.thetas = [r.theta for r in self._runtimes]
+        state.rngs = [r.rng for r in self._runtimes]
+        state.extras["dist_net_base"] = np.array(
+            [self._net_base + self.network.total_bytes()]
+        )
+        if self.config.staleness > 0:
+            # Mid-window resume needs the stale global φ and each node's
+            # contribution at the last sync; for synchronous runs both
+            # are recomputable from z, so they are omitted (keeping the
+            # checkpoint layout closer to the single-machine one).
+            state.extras["dist_phi_cache"] = self._phi_cache.copy()
+            for n in range(self.num_nodes):
+                state.extras[f"dist_node_base_{n}"] = self._node_base[n].copy()
+
+    def check_invariants(self, state: RunState) -> list[str]:
+        if self.num_nodes == 1:
+            return super().check_invariants(state)
+        out: list[str] = []
+        for n, workers in enumerate(self._node_workers):
+            ref = workers[0].phi_full.data
+            for w in workers[1:]:
+                if not np.array_equal(w.phi_full.data, ref):
+                    out.append(
+                        f"phi replica on node {n} GPU {w.device.device_id} "
+                        f"diverges from GPU {workers[0].device.device_id}"
+                    )
+        return out
+
+    def finalize(self, state: RunState, wall_seconds: float) -> TrainResult:
+        if self.num_nodes == 1:
+            return super().finalize(state, wall_seconds)
+        N, G = self.num_nodes, self.gpus_per_node
+        hyper, plan = self._hyper, self._plan
+        runtimes = self._runtimes
+
+        # Final collection per node (Alg 1 lines 17-20 / 35).
+        tail = 0.0
+        for n, machine in enumerate(self.machines):
+            workers = self._node_workers[n]
+            machine.memcpy_d2h(
+                workers[0].phi_full, stream=workers[0].download, label="d2h:phi"
+            )
+            if plan.chunks_per_gpu == 1:
+                local = self._node_runtimes[n]
+                for j in range(G):
+                    download_chunk(
+                        machine, workers[j], local[j],
+                        self._node_dev_chunks[n][j],
+                    )
+            t_fin = machine.synchronize()
+            tail = max(tail, t_fin - self._t_prev_node[n])
+        total_sim = self._sim_base + self._cluster_time + tail
+
+        # Kernel-time breakdown over every machine's trace.
+        by_kind = dict.fromkeys(BREAKDOWN_KINDS, 0.0)
+        for machine in self.machines:
+            for iv in machine.trace.intervals:
+                if iv.kind in by_kind:
+                    by_kind[iv.kind] += iv.duration
+        grand = sum(by_kind.values())
+        breakdown = {
+            k: (v / grand if grand > 0 else 0.0) for k, v in by_kind.items()
+        }
+
+        phi_final = self._global_phi.astype(np.int32).copy()
+        theta_final = SparseTheta.concatenate(
+            [r.theta for r in runtimes], hyper.num_topics
+        )
+        topics_final = self._merge_topics(runtimes)
+        peak = max(
+            gpu.allocator.peak_bytes
+            for machine in self.machines for gpu in machine.gpus
+        )
+        for n in range(N):
+            for dc in self._node_dev_chunks[n]:
+                dc.free_all()
+            for w in self._node_workers[n]:
+                w.free_all()
+        self._peak_device_bytes = peak
+
+        return TrainResult(
+            corpus_name=self.corpus.name,
+            machine_name=f"{N}x {self.machines[0].name}",
+            num_gpus=N * G,
+            num_tokens=self.corpus.num_tokens,
+            plan_chunks=plan.num_chunks,
+            chunks_per_gpu=plan.chunks_per_gpu,
+            iterations=list(state.history),
+            total_sim_seconds=total_sim,
+            wall_seconds=wall_seconds,
+            breakdown=breakdown,
+            phi=phi_final,
+            theta=theta_final,
+            hyper=hyper,
+            peak_device_bytes=peak,
+            topics=topics_final,
+            algo=self.name,
+            num_workers=N,
+            network_bytes=self._net_base + self.network.total_bytes(),
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery surface
+    # ------------------------------------------------------------------
+    def rollback(self, state: RunState) -> None:
+        if self.num_nodes == 1:
+            super().rollback(state)
+            return
+        hyper, kcfg = self._hyper, self._kcfg
+        runtimes = self._runtimes
+        if len(state.topics) != len(runtimes) or state.thetas is None:
+            raise ValueError("rollback state does not match the live chunk layout")
+        dtype = hyper.topic_dtype(kcfg.compressed)
+        for i, rt in enumerate(runtimes):
+            rt.topics = state.topics[i].astype(dtype, copy=False)
+            rt.theta = state.thetas[i]
+            rt.rng = state.rngs[i]
+        N = self.num_nodes
+        node_counts = [self._node_phi_counts(n) for n in range(N)]
+        global_phi = self._sum_counts(node_counts)
+        cache, base = self._resolve_dist_extras(state, N, node_counts, global_phi)
+        self._phi_cache, self._node_base = cache, base
+        self._node_counts, self._global_phi = node_counts, global_phi
+        if self.server is not None:
+            self.server.phi = cache.copy()
+        advance = 0.0
+        for n, machine in enumerate(self.machines):
+            view_host = self._as_phi_dtype(cache + node_counts[n] - base[n], kcfg)
+            for w in self._node_workers[n]:
+                machine.memcpy_h2d(
+                    w.phi_full, view_host, stream=w.upload,
+                    label="h2d:phi_rollback",
+                )
+                self._launch_nk(w, kcfg)
+            if self._plan.chunks_per_gpu == 1:
+                local = self._node_runtimes[n]
+                for j, w in enumerate(self._node_workers[n]):
+                    dc, rt = self._node_dev_chunks[n][j], local[j]
+                    machine.memcpy_h2d(
+                        dc.topics, rt.topics, stream=w.upload,
+                        label=f"h2d:chunk{rt.chunk_id}.topics_rollback",
+                    )
+                    dc.replace_theta(w.device, rt.theta, f"chunk{rt.chunk_id}")
+            t_now = machine.synchronize()
+            advance = max(advance, t_now - self._t_prev_node[n])
+            self._t_prev_node[n] = t_now
+        # Recovery time stays on the (global) clock.
+        self._cluster_time += advance
+        self._iter_index = state.iteration
+        state.phi = global_phi.astype(np.int32).copy()
+
+    def handle_device_loss(self, state: RunState) -> None:
+        if self.num_nodes == 1:
+            super().handle_device_loss(state)
+            return
+        raise FaultError(
+            "multi-node CuLDA does not support elastic GPU replacement; "
+            "run cluster fault experiments on the LDA* trainer "
+            "(docs/ROBUSTNESS.md §8) or single-node CuLDA"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _node_phi_counts(self, node: int) -> np.ndarray:
+        """Node *node*'s exact φ contribution (int64), recounted from
+        its chunks' current topic assignments."""
+        K = self._hyper.num_topics
+        counts = np.zeros((K, self.corpus.num_words), dtype=np.int64)
+        for r in self._node_runtimes[node]:
+            counts += accumulate_phi(r.chunk, r.topics, K)
+        return counts
+
+    @staticmethod
+    def _sum_counts(node_counts: list[np.ndarray]) -> np.ndarray:
+        total = np.zeros_like(node_counts[0])
+        for c in node_counts:
+            total += c
+        return total
+
+    @staticmethod
+    def _as_phi_dtype(phi: np.ndarray, kcfg) -> np.ndarray:
+        if kcfg.compressed:
+            if phi.max(initial=0) >= 2**16:
+                raise OverflowError("φ overflows 16-bit compression")
+            return phi.astype(np.uint16)
+        return phi.astype(np.int32)
+
+    def _resolve_dist_extras(
+        self,
+        state: RunState | None,
+        num_nodes: int,
+        node_counts: list[np.ndarray],
+        global_phi: np.ndarray,
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """(stale global φ, per-node base) from checkpoint extras when
+        they match this layout, else a fresh sync point (exact for
+        synchronous runs)."""
+        extras = state.extras if state is not None else {}
+        cache = extras.get("dist_phi_cache")
+        bases = [extras.get(f"dist_node_base_{n}") for n in range(num_nodes)]
+        if cache is not None and all(b is not None for b in bases):
+            return (
+                np.asarray(cache).astype(np.int64),
+                [np.asarray(b).astype(np.int64) for b in bases],
+            )
+        return global_phi.copy(), [c.copy() for c in node_counts]

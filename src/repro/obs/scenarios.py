@@ -35,6 +35,7 @@ from repro.obs.workloads import (
     make_baseline,
     make_corpus,
     make_culda,
+    make_distributed_culda,
     train_tiny_checkpoint,
 )
 
@@ -150,6 +151,92 @@ def _culda_4gpu_ring() -> dict:
 )
 def _culda_4gpu_cpu_gather() -> dict:
     return _culda_4gpu("cpu_gather")
+
+
+def _node_scaling_run(nodes: int):
+    corpus = make_corpus("pubmed", tokens=240_000, seed=1, vocab_cap=2_048)
+    kwargs = dict(num_topics=32, iterations=3, seed=0, chunks_per_gpu=1)
+    if nodes == 1:
+        return make_culda(corpus, platform="pascal", gpus=2, **kwargs).train()
+    return make_distributed_culda(
+        corpus, nodes=nodes, gpus_per_node=2,
+        link_gbps=12.5, latency_seconds=5e-6, **kwargs,
+    ).train()
+
+
+@REGISTRY.scenario(
+    "train/culda_node_scaling", "train",
+    "Multi-node CuLDA node scaling: 1/2/4 nodes x 2 Pascal GPUs over a "
+    "100 GbE-class fabric, PubMed twin 240k tokens; throughput must "
+    "grow monotonically with node count",
+    corpus="pubmed", tokens=240_000, topics=32, iterations=3,
+    platform="pascal", gpus_per_node=2, nodes=(1, 2, 4),
+    link_gbps=12.5,
+)
+def _culda_node_scaling() -> dict:
+    results = {n: _node_scaling_run(n) for n in (1, 2, 4)}
+    tps = {n: r.avg_tokens_per_sec for n, r in results.items()}
+    if not tps[1] < tps[2] < tps[4]:
+        raise AssertionError(
+            "node scaling is not monotone: "
+            + ", ".join(f"{n} nodes={tps[n]:.3e} tok/s" for n in (1, 2, 4))
+        )
+    return {
+        "tokens_per_sec_1node": _exact(tps[1], "tokens/s", "higher"),
+        "tokens_per_sec_2node": _exact(tps[2], "tokens/s", "higher"),
+        "tokens_per_sec_4node": _exact(tps[4], "tokens/s", "higher"),
+        "scaling_efficiency_4node": _exact(
+            tps[4] / (4 * tps[1]), "ratio", "higher"
+        ),
+        "sim_seconds_4node": _exact(
+            results[4].total_sim_seconds, "s", "lower"
+        ),
+    }
+
+
+def _internode_backend_run(backend: str):
+    from repro.telemetry import MetricsRegistry
+
+    corpus = make_corpus("pubmed", tokens=60_000, seed=1, vocab_cap=2_048)
+    registry = MetricsRegistry()
+    result = make_distributed_culda(
+        corpus, nodes=2, gpus_per_node=2, registry=registry,
+        num_topics=32, iterations=4, seed=0, chunks_per_gpu=1,
+        inter_sync=backend,
+    ).train()
+    counter = registry.get("internode_sync_bytes_total")
+    internode_bytes = (
+        sum(s.value for s in counter.samples()) if counter else 0.0
+    )
+    return result, internode_bytes
+
+
+@REGISTRY.scenario(
+    "sync/culda_internode_backends", "sync",
+    "Inter-node phi-sync backend comparison on 2x2 GPUs over 10 GbE: "
+    "eth_ring vs param_server timing; models must be bit-identical",
+    tier="full",
+    corpus="pubmed", tokens=60_000, topics=32, iterations=4,
+    platform="pascal", gpus_per_node=2, nodes=2,
+)
+def _culda_internode_backends() -> dict:
+    ring, ring_bytes = _internode_backend_run("eth_ring")
+    ps, ps_bytes = _internode_backend_run("param_server")
+    if not np.array_equal(ring.phi, ps.phi):
+        raise AssertionError(
+            "eth_ring and param_server produced different models"
+        )
+    return {
+        "ring_sim_seconds": _exact(ring.total_sim_seconds, "s", "lower"),
+        "param_server_sim_seconds": _exact(
+            ps.total_sim_seconds, "s", "lower"
+        ),
+        "ring_internode_bytes": _exact(ring_bytes, "bytes", "lower"),
+        "param_server_internode_bytes": _exact(ps_bytes, "bytes", "lower"),
+        "param_server_overhead_ratio": _exact(
+            ps.total_sim_seconds / ring.total_sim_seconds, "ratio", "info"
+        ),
+    }
 
 
 def _planner_run(platform: str, sync: str):

@@ -18,6 +18,7 @@ __all__ = [
     "make_corpus",
     "make_platform",
     "make_culda",
+    "make_distributed_culda",
     "make_baseline",
     "kernel_state",
     "train_tiny_checkpoint",
@@ -71,6 +72,40 @@ def make_culda(
     return CuLDA(
         corpus,
         machine=make_platform(platform, gpus),
+        config=TrainConfig(**config_kwargs),
+        registry=registry,
+        callbacks=callbacks,
+    )
+
+
+def make_distributed_culda(
+    corpus,
+    nodes: int = 2,
+    platform: str = "pascal",
+    gpus_per_node: int = 1,
+    link_gbps: float | None = None,
+    latency_seconds: float | None = None,
+    registry=None,
+    callbacks=None,
+    **config_kwargs,
+):
+    """A multi-node CuLDA trainer: *nodes* fresh machines joined by a
+    fresh :class:`~repro.cluster.network.ClusterNetwork` (10 GbE with
+    50 µs latency by default; pass ``link_gbps``/``latency_seconds``
+    for a faster fabric, e.g. 12.5/5e-6 for 100 GbE-class)."""
+    from repro.cluster.network import ClusterNetwork
+    from repro.core import DistributedCuLDA, TrainConfig
+
+    net_kwargs = {}
+    if link_gbps is not None:
+        net_kwargs["link_gbps"] = link_gbps
+    if latency_seconds is not None:
+        net_kwargs["latency_seconds"] = latency_seconds
+    network = ClusterNetwork(nodes, **net_kwargs)
+    return DistributedCuLDA(
+        corpus,
+        [make_platform(platform, gpus_per_node) for _ in range(nodes)],
+        network=network,
         config=TrainConfig(**config_kwargs),
         registry=registry,
         callbacks=callbacks,
