@@ -220,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--iterations", type=_positive_int, default=5)
     pr.add_argument("--platform", choices=PLATFORMS, default="volta")
     pr.add_argument("--gpus", type=_positive_int, default=1)
+    pr.add_argument("--nodes", type=_positive_int, default=1,
+                    help="simulated machines; > 1 profiles the "
+                    "multi-node trainer (cluster fault plans allowed)")
+    pr.add_argument("--gpus-per-node", type=_positive_int, default=None,
+                    help="GPUs per machine with --nodes > 1 "
+                    "(default: --gpus)")
     _add_sync_arg(pr)
     pr.add_argument("--likelihood-every", type=_nonneg_int, default=0)
     pr.add_argument("--faults", metavar="PLAN.json",
@@ -398,15 +404,19 @@ def _print_training_failure(exc) -> None:
                   file=sys.stderr)
 
 
-def _check_fault_domains(plan, algo):
-    """Cluster fault kinds need the cluster trainer and GPU kinds the
-    GPU trainer; returns an error naming the offending entry, or None."""
+def _check_fault_domains(plan, algo, nodes=1):
+    """Every fault kind needs a matching substrate in the run: cluster
+    kinds need a cluster (``--algo ldastar`` or ``--nodes > 1``), GPU
+    kinds a simulated machine (``--algo culda``/``saberlda``). Returns
+    an error naming the offending plan entry, or None."""
     if plan is None or plan is _BAD_PLAN:
         return None
+    has_cluster = algo == "ldastar" or (algo == "culda" and nodes > 1)
     for i, spec in enumerate(plan):
-        if spec.domain == "cluster" and algo != "ldastar":
-            return (f"fault #{i} ({spec.kind}): cluster fault kinds "
-                    f"require --algo ldastar, not {algo!r}")
+        if spec.domain == "cluster" and not has_cluster:
+            return (f"fault #{i} ({spec.kind}): cluster fault kinds need a "
+                    f"cluster substrate — use --algo ldastar or --algo "
+                    f"culda with --nodes > 1, not {algo!r} on one node")
         if spec.domain == "gpu" and algo not in ("culda", "saberlda"):
             return (f"fault #{i} ({spec.kind}): GPU fault kinds require "
                     f"--algo culda, not {algo!r}")
@@ -438,15 +448,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
               "--nodes > 1 (a single node has no inter-node sync leg)",
               file=sys.stderr)
         return 2
-    if args.nodes > 1 and (args.faults or args.recovery):
-        print("error: --faults/--recovery are not supported with "
-              "--nodes > 1 (cluster fault experiments run on --algo "
-              "ldastar; see docs/DISTRIBUTED.md)", file=sys.stderr)
-        return 2
     fault_plan = _load_fault_plan(args.faults)
     if fault_plan is _BAD_PLAN:
         return 2
-    domain_error = _check_fault_domains(fault_plan, args.algo)
+    domain_error = _check_fault_domains(fault_plan, args.algo, args.nodes)
     if domain_error:
         print(f"error: {domain_error}", file=sys.stderr)
         return 2
@@ -493,6 +498,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             trainer = DistributedCuLDA(
                 corpus, machines, config=config, registry=registry
             )
+            run_kwargs.update(recovery=args.recovery,
+                              fault_plan=fault_plan)
         else:
             machine = make_machine(args.platform, args.gpus)
             trainer = CuLDA(
@@ -602,7 +609,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.culda import BREAKDOWN_KINDS, _busy_fractions
     from repro.engine import TrainingFailure
     from repro.gpusim.platform import make_machine
-    from repro.obs.profiling import profile_json
+    from repro.obs.profiling import (
+        ELASTICITY_COUNTERS,
+        counter_total,
+        profile_json,
+    )
     from repro.telemetry import JSONLEmitter, MetricsRegistry
     from repro.telemetry.exporters import merged_chrome_json, to_prometheus
 
@@ -614,23 +625,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     fault_plan = _load_fault_plan(args.faults)
     if fault_plan is _BAD_PLAN:
         return 2
+    domain_error = _check_fault_domains(fault_plan, "culda", args.nodes)
+    if domain_error:
+        print(f"error: {domain_error}", file=sys.stderr)
+        return 2
     corpus = _load_corpus(args)
-    machine = make_machine(args.platform, args.gpus)
     registry = MetricsRegistry()
     callbacks = [JSONLEmitter(args.events)] if args.events else []
-    trainer = CuLDA(
-        corpus,
-        machine=machine,
-        config=TrainConfig(
-            num_topics=args.topics,
-            iterations=args.iterations,
-            seed=args.seed,
-            sync_algorithm=args.sync,
-            likelihood_every=args.likelihood_every,
-        ),
-        callbacks=callbacks,
-        registry=registry,
+    config = TrainConfig(
+        num_topics=args.topics,
+        iterations=args.iterations,
+        seed=args.seed,
+        sync_algorithm=args.sync,
+        likelihood_every=args.likelihood_every,
     )
+    if args.nodes > 1:
+        from repro.core import DistributedCuLDA
+
+        gpn = args.gpus_per_node or args.gpus
+        machines = [
+            make_machine(args.platform, gpn) for _ in range(args.nodes)
+        ]
+        machine = machines[0]
+        trainer = DistributedCuLDA(
+            corpus, machines, config=config,
+            callbacks=callbacks, registry=registry,
+        )
+    else:
+        machine = make_machine(args.platform, args.gpus)
+        trainer = CuLDA(
+            corpus,
+            machine=machine,
+            config=config,
+            callbacks=callbacks,
+            registry=registry,
+        )
     try:
         result = trainer.train(recovery=args.recovery, fault_plan=fault_plan)
     except TrainingFailure as exc:
@@ -709,6 +738,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 f"{k}={v}" for k, v in event.items() if k != "kind"
             )
             print(f"  {event['kind']:<24s} {detail}")
+        print()
+
+    elasticity = {
+        name: counter_total(registry, name) for name in ELASTICITY_COUNTERS
+    }
+    if any(elasticity.values()):
+        print("node recovery:")
+        for name in ELASTICITY_COUNTERS:
+            print(f"  {name:<40s} {elasticity[name]:>14,.3f}")
         print()
 
     print("timeline (text Gantt):")

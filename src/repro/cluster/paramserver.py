@@ -80,6 +80,8 @@ class ShardedParameterServer:
         self.bytes_resharded = 0.0
         #: Structured event log (failovers, repairs, re-shards).
         self.events: list[dict] = []
+        #: Replicated control-plane metadata (see :meth:`park`).
+        self._parked: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Placement and storage
@@ -191,6 +193,28 @@ class ShardedParameterServer:
         corrupted copy from its intact replication peer."""
         for shard in range(self.num_shards):
             self._verify_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Parked control-plane metadata
+    # ------------------------------------------------------------------
+    def park(self, key: str, value: np.ndarray) -> None:
+        """Park a small control-plane array (chunk hosting map, per-node
+        φ bases, …) under *key*, replicated with the shards.
+
+        Parked state is how an elastic trainer survives losing the node
+        that owned an assignment: the plan lives with the (replicated)
+        server, not with the node. Like heartbeats, parking is
+        control-plane traffic and is not charged to the simulated
+        wire — it is tiny next to the φ payloads it describes.
+        """
+        self._parked[key] = np.asarray(value).copy()
+        self.events.append({"kind": "park", "key": key})
+
+    def parked(self, key: str) -> np.ndarray | None:
+        """The array parked under *key*, or ``None``. Parked metadata
+        survives node loss (every copy is replicated) and re-shards."""
+        value = self._parked.get(key)
+        return None if value is None else value.copy()
 
     def corrupt_shard(self, node: int, offset: int = 7919) -> None:
         """Fault hook (``ps_shard_corruption``): silently perturb the
@@ -392,6 +416,7 @@ class ShardedParameterServer:
         self._place_shards(live)
         K = phi_recount.shape[0]
         bytes_moved = 0.0
+        adopted = 0
         done = earliest
         for s, cols in enumerate(self._cols):
             nbytes = float(K) * cols.size * entry_bytes
@@ -404,6 +429,7 @@ class ShardedParameterServer:
             ):
                 if dst in old_holders:
                     continue
+                adopted += 1
                 if old_holders:
                     _, end = self.network.send(
                         old_holders[0], dst, nbytes, earliest,
@@ -427,12 +453,18 @@ class ShardedParameterServer:
         self.bytes_resharded += bytes_moved
         self.events.append(
             {"kind": "reshard", "live_nodes": list(live),
-             "bytes_moved": bytes_moved}
+             "bytes_moved": bytes_moved, "shards_adopted": adopted}
         )
         emit_counter(
             "ps_reshards_total", 1,
             help="Deterministic φ re-shards after permanent node loss.",
         )
+        if adopted:
+            emit_counter(
+                "shards_adopted_total", adopted,
+                help="φ shard copies adopted by a new home node during "
+                     "elastic re-shards.",
+            )
         emit_counter(
             "ps_reshard_bytes_total", bytes_moved,
             help="Bytes moved relocating φ shard copies during re-shards.",

@@ -27,6 +27,22 @@ samples against the last global φ *plus its own pending updates*
 synchronous mode and degenerates bit-identically; ``num_nodes = 1``
 degenerates to the single-machine trainer exactly (same plan, same
 timings, same checkpoint bytes).
+
+Elasticity (docs/DISTRIBUTED.md §5, docs/ROBUSTNESS.md §8): under a
+:class:`~repro.engine.recovery.ClusterRecoveryPolicy` the trainer
+survives node death, NIC outages, and parameter-server shard
+corruption. A heartbeat :class:`~repro.cluster.membership.MembershipMonitor`
+turns silence into a verdict at lease expiry; the dead node's logical
+workers then migrate intact (chunk, z, θ, RNG) to the token-lightest
+survivors, the replicated :class:`ShardedParameterServer` — which
+parks the chunk-hosting plan and per-node φ bases as control-plane
+metadata — re-shards over the surviving placement from an exact φ
+recount, and training resumes. Because chunk RNG streams are keyed by
+global chunk id and migration never re-chunks, the recovered
+synchronous model is **bit-identical** to the fault-free run; the
+async mode conserves tokens with the dead node's staleness window
+drained deterministically at a fresh sync point. Recovery stalls stay
+on the simulated clock (``node_recovery_stall_seconds_total``).
 """
 
 from __future__ import annotations
@@ -40,13 +56,14 @@ from repro.core.culda import BREAKDOWN_KINDS, CuLDA, TrainConfig
 from repro.core.kernels import accumulate_phi
 from repro.core.likelihood import _doc_log_likelihood, word_log_likelihood
 from repro.core.model import SparseTheta
+from repro.cluster.membership import HeartbeatConfig, MembershipMonitor
 from repro.cluster.network import ClusterNetwork
 from repro.cluster.paramserver import ShardedParameterServer
 from repro.corpus.corpus import Corpus
 from repro.engine.algorithm import IterationOutcome
 from repro.engine.results import TrainResult
 from repro.engine.state import RunState
-from repro.gpusim.errors import FaultError
+from repro.gpusim.errors import FaultError, NodeLost
 from repro.gpusim.platform import Machine
 from repro.sched.partition import choose_chunking
 from repro.sched.schedule import (
@@ -127,6 +144,9 @@ class DistributedCuLDA(CuLDA):
         self._num_shards = num_shards or self.num_nodes
         #: Built in init_state (needs φ); exposed for fault wiring.
         self.server: ShardedParameterServer | None = None
+        #: Heartbeat failure detector; built in init_state so it picks
+        #: up the active recovery policy's thresholds.
+        self.membership: MembershipMonitor | None = None
 
     @property
     def gpus_per_node(self) -> int:
@@ -135,6 +155,36 @@ class DistributedCuLDA(CuLDA):
     @property
     def num_workers(self) -> int:
         return self.num_nodes * self.gpus_per_node
+
+    def train(
+        self,
+        callbacks=None,
+        *,
+        save_every: int = 0,
+        checkpoint_path=None,
+        resume=None,
+        vocabulary=None,
+        recovery=None,
+        fault_plan=None,
+    ) -> TrainResult:
+        """Same contract as :meth:`CuLDA.train`, except a ``recovery``
+        mode string becomes a
+        :class:`~repro.engine.recovery.ClusterRecoveryPolicy` on a
+        multi-node run, so the heartbeat failure detector gets its
+        lease thresholds (single-node keeps the GPU-domain policy)."""
+        if self.num_nodes > 1 and isinstance(recovery, str):
+            from repro.engine.recovery import ClusterRecoveryPolicy
+
+            recovery = ClusterRecoveryPolicy(mode=recovery)
+        return super().train(
+            callbacks,
+            save_every=save_every,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            vocabulary=vocabulary,
+            recovery=recovery,
+            fault_plan=fault_plan,
+        )
 
     # ------------------------------------------------------------------
     # Algorithm strategy surface
@@ -162,14 +212,53 @@ class DistributedCuLDA(CuLDA):
             runtimes = self._init_runtimes(plan, hyper, kcfg)
             if resume is not None:
                 self._restore_runtimes(runtimes, resume, hyper, kcfg)
-        M = plan.chunks_per_gpu
-
         self._hyper, self._kcfg = hyper, kcfg
         self._plan, self._runtimes = plan, runtimes
-        self._node_runtimes = [
-            [runtimes[m * W + n * G + j] for m in range(M) for j in range(G)]
-            for n in range(N)
-        ]
+
+        # Failure detector over the fabric; lease thresholds come from
+        # the ClusterRecoveryPolicy when one is active (the loop sets
+        # recovery_policy before init_state).
+        policy = getattr(self, "recovery_policy", None)
+        heartbeat: HeartbeatConfig | None = None
+        if policy is not None and hasattr(policy, "heartbeat_config"):
+            heartbeat = policy.heartbeat_config()
+        self.membership = MembershipMonitor(self.network, heartbeat)
+        self._cluster_time = 0.0
+        self._charged = 0.0
+        self._t_prev_node = [0.0] * N
+
+        # Chunk hosting: logical worker w starts on physical node w // G.
+        # A checkpoint written after an elastic recovery carries the
+        # migrated map and the buried node set in extras; both apply
+        # only when the node count matches — on any other layout the
+        # resume point is a fresh, healthy cluster (exact for sync
+        # mode, where placement is invisible to the numerics).
+        self._worker_node = [w // G for w in range(W)]
+        self._dead_nodes: set[int] = set()
+        extras = resume.extras if resume is not None else {}
+        hosting = extras.get("dist_worker_node")
+        wrote_nodes = extras.get("dist_num_nodes")
+        if (
+            hosting is not None
+            and len(hosting) == W
+            and wrote_nodes is not None
+            and int(np.asarray(wrote_nodes)[0]) == N
+        ):
+            hosting = [int(x) for x in np.asarray(hosting)]
+            if all(0 <= n < N for n in hosting):
+                self._worker_node = hosting
+                self._dead_nodes = {
+                    int(x)
+                    for x in np.asarray(extras.get("dist_dead_nodes", ()))
+                }
+        for n in sorted(self._dead_nodes):
+            # Re-bury nodes the checkpointed run had already lost.
+            if self.network.node_alive(n):
+                self.network.fail_node(n)
+            self.membership.force_dead(n, 0.0)
+
+        self._node_runtimes = self._hosted_runtimes()
+        self._host_nodes = [n for n in range(N) if self._node_runtimes[n]]
         node_counts = [self._node_phi_counts(n) for n in range(N)]
         global_phi = self._sum_counts(node_counts)
 
@@ -186,43 +275,24 @@ class DistributedCuLDA(CuLDA):
         if resume is not None and "dist_net_base" in resume.extras:
             self._net_base = float(np.asarray(resume.extras["dist_net_base"])[0])
 
-        self._node_workers: list[list[GpuWorker]] = []
-        self._node_dev_chunks: list[list] = []
-        for n, machine in enumerate(self.machines):
-            workers = [
-                GpuWorker(dev, hyper.num_topics, self.corpus.num_words, kcfg)
-                for dev in machine.gpus
-            ]
-            view_host = self._as_phi_dtype(
-                cache + node_counts[n] - base[n], kcfg
-            )
-            dev_chunks = []
-            for w in workers:
-                machine.memcpy_h2d(
-                    w.phi_full, view_host, stream=w.upload, label="h2d:phi"
-                )
-                self._launch_nk(w, kcfg)
-            if M == 1:
-                local = self._node_runtimes[n]
-                dev_chunks = [
-                    upload_chunk(machine, workers[j], local[j])
-                    for j in range(G)
-                ]
-            machine.synchronize()
-            machine.reset_clock()
-            self._node_workers.append(workers)
-            self._node_dev_chunks.append(dev_chunks)
+        self._node_workers: list[list[GpuWorker]] = [[] for _ in range(N)]
+        self._node_dev_chunks: list[list] = [[] for _ in range(N)]
+        self._node_resident: list[bool] = [False] * N
+        self._attach_nodes("h2d:phi", reset_clock=True)
 
         # Parent-method compatibility (likelihood helpers, summaries).
-        self._workers = self._node_workers[0]
-        self._dev_chunks = self._node_dev_chunks[0]
-        self._t_prev_node = [0.0] * N
-        self._cluster_time = 0.0
+        self._workers = self._node_workers[self._host_nodes[0]]
+        self._dev_chunks = self._node_dev_chunks[self._host_nodes[0]]
         self._peak_device_bytes = 0
 
         self.server = ShardedParameterServer(
             cache.copy(), self._num_shards, self.network
         )
+        if self._dead_nodes:
+            self.server.rehome([
+                n for n in range(N) if self.network.node_up(n)
+            ])
+        self._park_plan()
 
         state = resume if resume is not None else RunState(algo=self.name)
         self._iter_index = state.iteration
@@ -252,24 +322,56 @@ class DistributedCuLDA(CuLDA):
         self._iter_index += 1
         sync_round = cfg.staleness == 0 or it % (cfg.staleness + 1) == 0
         retry = self._transfer_retry()
+        hosts = list(self._host_nodes)
+
+        # --- failure detection: the barrier stalls on silent nodes -----
+        self.membership.observe(self._cluster_time)
+        if self.server is not None:
+            # Checksum-verify the φ shards before any backend overwrites
+            # them in lockstep, so silent corruption is repaired (and
+            # counted) rather than papered over.
+            self.server.verify()
+        for n in hosts:
+            if self.network.node_up(n):
+                continue
+            # A hosting node is silent: the BSP barrier stalls until the
+            # failure detector rules. The stall stays on the clock even
+            # though the iteration is aborted and re-run after recovery.
+            t0 = self._cluster_time
+            verdict_at = self.membership.await_verdict(n, t0)
+            if verdict_at > t0:
+                emit_counter(
+                    "node_recovery_stall_seconds_total", verdict_at - t0,
+                    help="Simulated seconds training stalled detecting "
+                         "node failures and re-partitioning after them.",
+                    phase="detect",
+                )
+            self._cluster_time = max(self._cluster_time, verdict_at)
+            if self.membership.is_dead(n):
+                raise NodeLost(n)
+            # The NIC came back during the stall; training proceeds.
 
         # --- intra-node leg: the paper's iteration, per machine --------
-        t0_node = list(self._t_prev_node)
-        trace_marks, ready, dt_intra = [], [], []
-        for n, machine in enumerate(self.machines):
+        t0_node = {n: self._t_prev_node[n] for n in hosts}
+        trace_marks, ready, dt_intra = {}, {}, {}
+        for n in hosts:
+            machine = self.machines[n]
             iv0 = len(machine.trace.intervals)
             workers = self._node_workers[n]
             local = self._node_runtimes[n]
             with span("iteration"):
-                if self._plan.chunks_per_gpu == 1:
+                if self._node_resident[n]:
                     run_iteration_resident(
                         machine, workers, local, self._node_dev_chunks[n],
                         hyper, kcfg, cfg.sync_algorithm, retry=retry,
                     )
                 else:
+                    cpg = self._plan.chunks_per_gpu
+                    if len(local) != cpg * len(workers):
+                        cpg = None  # uneven round-robin after a migration
                     run_iteration_streaming(
                         machine, workers, local, hyper, kcfg,
-                        self._plan.chunks_per_gpu, cfg.sync_algorithm,
+                        cpg, cfg.sync_algorithm,
                         overlap=cfg.overlap_transfers, retry=retry,
                     )
                 if sync_round:
@@ -282,14 +384,17 @@ class DistributedCuLDA(CuLDA):
                 t_now = machine.synchronize()
             dt = t_now - self._t_prev_node[n]
             self._t_prev_node[n] = t_now
-            trace_marks.append(iv0)
-            dt_intra.append(dt)
-            ready.append(self._cluster_time + dt)
+            trace_marks[n] = iv0
+            dt_intra[n] = dt
+            ready[n] = self._cluster_time + dt
 
         # After the intra all-reduce every GPU on node n holds the sum
-        # of node n's chunk counts — the node's contribution.
+        # of node n's chunk counts — the node's contribution. Nodes
+        # hosting nothing (dead, their work migrated) contribute zeros.
         node_counts = [
             self._node_workers[n][0].phi_full.data.astype(np.int64, copy=True)
+            if self._node_runtimes[n]
+            else np.zeros_like(self._node_base[n])
             for n in range(N)
         ]
         pending = [node_counts[n] - self._node_base[n] for n in range(N)]
@@ -304,17 +409,23 @@ class DistributedCuLDA(CuLDA):
                 plan = plan_cluster_sync(
                     self.network, shape, entry_bytes=_ENTRY_BYTES,
                     retry=retry, algorithm=cfg.inter_sync, server=self.server,
+                    nodes=hosts,
                 )
-            if len(plan.nodes) != N:
-                raise FaultError(
-                    "multi-node CuLDA requires all nodes alive; cluster "
-                    f"has {len(plan.nodes)} of {N} (node loss is handled "
-                    "by the LDA* trainer only — see docs/DISTRIBUTED.md)"
-                )
+            if len(plan.nodes) != len(hosts):
+                # The topology excluded a hosting node (declared dead
+                # between the stall check and the plan): surface it as a
+                # node loss so the elastic hook can migrate its work.
+                missing = sorted(set(hosts) - set(plan.nodes))
+                raise NodeLost(missing[0])
+            # The collective runs over the surviving hosting nodes only;
+            # for eth_ring that *is* the leader re-election — the ring
+            # (and its segment leaders) re-forms over plan.nodes.
             result = plan.collective.allreduce(
                 ClusterSyncContext(
                     network=self.network, nodes=plan.nodes,
-                    node_counts=node_counts, pending=pending, ready=ready,
+                    node_counts=[node_counts[n] for n in plan.nodes],
+                    pending=[pending[n] for n in plan.nodes],
+                    ready=[ready[n] for n in plan.nodes],
                     entry_bytes=_ENTRY_BYTES, retry=retry, server=self.server,
                 )
             )
@@ -322,18 +433,20 @@ class DistributedCuLDA(CuLDA):
                 # Keep the server replica in lockstep so backends can
                 # alternate mid-run without drift.
                 self.server.phi = result.phi
-            done = list(result.done)
+            done = {n: result.done[i] for i, n in enumerate(plan.nodes)}
             internode_bytes = result.bytes_on_wire
             self._phi_cache = result.phi.astype(np.int64, copy=True)
             self._node_base = [c.copy() for c in node_counts]
-            views = [self._phi_cache] * N
+            views = {n: self._phi_cache for n in hosts}
+            self._park_plan()
         else:
-            done = ready
-            views = [self._phi_cache + pending[n] for n in range(N)]
+            done = dict(ready)
+            views = {n: self._phi_cache + pending[n] for n in hosts}
 
         # --- redistribution: every GPU gets its node's φ view ----------
-        redist = []
-        for n, machine in enumerate(self.machines):
+        redist = {}
+        for n in hosts:
+            machine = self.machines[n]
             view_host = self._as_phi_dtype(views[n], kcfg)
             t_a = self._t_prev_node[n]
             for w in self._node_workers[n]:
@@ -343,20 +456,26 @@ class DistributedCuLDA(CuLDA):
                 )
                 self._launch_nk(w, kcfg)
             t_b = machine.synchronize()
-            redist.append(t_b - t_a)
+            redist[n] = t_b - t_a
             self._t_prev_node[n] = t_b
 
-        finish = [done[n] + redist[n] for n in range(N)]
-        t_next = max(finish)
-        for n in range(N):
+        finish = {n: done[n] + redist[n] for n in hosts}
+        t_next = max(finish.values())
+        for n in hosts:
             emit_counter(
                 "internode_stall_seconds_total", t_next - finish[n],
                 help="time nodes wait at the inter-node sync barrier",
                 node=str(n),
             )
-        dt_iter = t_next - self._cluster_time
+        # Charge from the last *completed* iteration's finish, so any
+        # recovery stall (detection, re-partition, re-shard) between the
+        # two lands on this iteration's simulated duration.
+        dt_iter = t_next - self._charged
         self._cluster_time = t_next
-        net_seconds = max(done) - max(ready) if sync_round else 0.0
+        self._charged = t_next
+        net_seconds = (
+            max(done.values()) - max(ready.values()) if sync_round else 0.0
+        )
 
         # --- stats (same aggregation as the single-machine trainer) ----
         runtimes = self._runtimes
@@ -368,7 +487,8 @@ class DistributedCuLDA(CuLDA):
 
         sync_seconds, p2p_bytes = 0.0, 0.0
         busy: dict[str, float] = {}
-        for n, machine in enumerate(self.machines):
+        for n in hosts:
+            machine = self.machines[n]
             s, p, b = iteration_trace_stats(
                 machine.trace.intervals[trace_marks[n]:],
                 [w.device.device_id for w in self._node_workers[n]],
@@ -400,7 +520,7 @@ class DistributedCuLDA(CuLDA):
                 "mean_kd": float(kd @ weights),
                 "p1_fraction": float(p1 @ weights),
                 "network_seconds": net_seconds,
-                "compute_seconds": max(dt_intra),
+                "compute_seconds": max(dt_intra.values()),
             },
             sync_event={
                 "sync_seconds": sync_seconds + net_seconds,
@@ -439,6 +559,22 @@ class DistributedCuLDA(CuLDA):
         state.extras["dist_net_base"] = np.array(
             [self._net_base + self.network.total_bytes()]
         )
+        G = self.gpus_per_node
+        if self._dead_nodes or any(
+            self._worker_node[w] != w // G for w in range(self.num_workers)
+        ):
+            # Only a run that has actually lost a node carries hosting
+            # extras — fault-free checkpoints keep the PR 9 layout (and
+            # sync-mode ones stay interchangeable across layouts).
+            state.extras["dist_worker_node"] = np.array(
+                self._worker_node, dtype=np.int64
+            )
+            state.extras["dist_dead_nodes"] = np.array(
+                sorted(self._dead_nodes), dtype=np.int64
+            )
+            state.extras["dist_num_nodes"] = np.array(
+                [self.num_nodes], dtype=np.int64
+            )
         if self.config.staleness > 0:
             # Mid-window resume needs the stale global φ and each node's
             # contribution at the last sync; for synchronous runs both
@@ -453,6 +589,8 @@ class DistributedCuLDA(CuLDA):
             return super().check_invariants(state)
         out: list[str] = []
         for n, workers in enumerate(self._node_workers):
+            if not workers:  # dead node / work migrated away
+                continue
             ref = workers[0].phi_full.data
             for w in workers[1:]:
                 if not np.array_equal(w.phi_full.data, ref):
@@ -471,16 +609,17 @@ class DistributedCuLDA(CuLDA):
 
         # Final collection per node (Alg 1 lines 17-20 / 35).
         tail = 0.0
-        for n, machine in enumerate(self.machines):
+        for n in self._host_nodes:
+            machine = self.machines[n]
             workers = self._node_workers[n]
             machine.memcpy_d2h(
                 workers[0].phi_full, stream=workers[0].download, label="d2h:phi"
             )
-            if plan.chunks_per_gpu == 1:
+            if self._node_resident[n]:
                 local = self._node_runtimes[n]
-                for j in range(G):
+                for j, w in enumerate(workers):
                     download_chunk(
-                        machine, workers[j], local[j],
+                        machine, w, local[j],
                         self._node_dev_chunks[n][j],
                     )
             t_fin = machine.synchronize()
@@ -560,7 +699,8 @@ class DistributedCuLDA(CuLDA):
         if self.server is not None:
             self.server.phi = cache.copy()
         advance = 0.0
-        for n, machine in enumerate(self.machines):
+        for n in self._host_nodes:
+            machine = self.machines[n]
             view_host = self._as_phi_dtype(cache + node_counts[n] - base[n], kcfg)
             for w in self._node_workers[n]:
                 machine.memcpy_h2d(
@@ -568,7 +708,7 @@ class DistributedCuLDA(CuLDA):
                     label="h2d:phi_rollback",
                 )
                 self._launch_nk(w, kcfg)
-            if self._plan.chunks_per_gpu == 1:
+            if self._node_resident[n]:
                 local = self._node_runtimes[n]
                 for j, w in enumerate(self._node_workers[n]):
                     dc, rt = self._node_dev_chunks[n][j], local[j]
@@ -586,18 +726,231 @@ class DistributedCuLDA(CuLDA):
         state.phi = global_phi.astype(np.int32).copy()
 
     def handle_device_loss(self, state: RunState) -> None:
+        """Elastic recovery for the hierarchical trainer.
+
+        Handles both fault units with one deterministic re-partition:
+
+        - a **dead node** (heartbeat lease expired): its logical
+          workers migrate intact — chunk, topic assignments, θ, RNG
+          stream — to the token-lightest surviving nodes. Migrating
+          whole workers instead of re-chunking keeps every token's RNG
+          stream identical to the fault-free run, so the recovered
+          synchronous model is bit-identical; only the wire placement
+          changes.
+        - a **dead GPU** inside a surviving node: the node's chunk list
+          is redistributed round-robin over its remaining GPUs (the
+          multi-node analogue of the single-machine elastic
+          re-partition) and the node's reduce tree is re-planned at the
+          new fan-in by the per-machine sync planner.
+
+        Afterwards the parameter server re-shards φ over the surviving
+        placement from an exact recount, any open staleness window is
+        drained at a fresh sync point (the dead node's pending Δφ is
+        folded in exactly once, deterministically, because z comes from
+        the snapshot), and the refreshed hosting plan is parked back in
+        the replicated server. All recovery traffic stays on the
+        simulated clock.
+        """
         if self.num_nodes == 1:
             super().handle_device_loss(state)
             return
-        raise FaultError(
-            "multi-node CuLDA does not support elastic GPU replacement; "
-            "run cluster fault experiments on the LDA* trainer "
-            "(docs/ROBUSTNESS.md §8) or single-node CuLDA"
+        N, W = self.num_nodes, self.num_workers
+        M = self._plan.chunks_per_gpu
+        t_start = self._cluster_time
+        self._restore_dist(state)
+
+        dead = set(self._dead_nodes) | set(self.membership.dead_nodes)
+        survivors = [
+            n for n in range(N)
+            if n not in dead and self.machines[n].alive_gpus
+        ]
+        if not survivors:
+            raise NodeLost(
+                min(dead) if dead else 0,
+                "no surviving nodes to migrate work to",
+            )
+
+        # The hosting plan parked in the replicated server survives the
+        # node that owned any given assignment; the snapshot extras are
+        # the fallback when no server is wired yet.
+        hosting = list(self._worker_node)
+        parked = (
+            self.server.parked("chunk_hosting")
+            if self.server is not None else None
         )
+        if parked is not None and parked.size == W:
+            parked_map = [int(x) for x in parked]
+            if all(0 <= n < N for n in parked_map):
+                hosting = parked_map
+
+        wtok = [
+            sum(self._runtimes[m * W + w].chunk.num_tokens for m in range(M))
+            for w in range(W)
+        ]
+        load = {n: 0 for n in survivors}
+        for w in range(W):
+            if hosting[w] in load:
+                load[hosting[w]] += wtok[w]
+        for w in range(W):
+            if hosting[w] in survivors:
+                continue
+            target = min(survivors, key=lambda n: (load[n], n))
+            emit_counter(
+                "workers_migrated_total", 1,
+                help="Logical CuLDA workers migrated off dead cluster "
+                     "nodes onto token-lightest survivors.",
+                worker=str(w), to_node=str(target),
+            )
+            hosting[w] = target
+            load[target] += wtok[w]
+        self._worker_node = hosting
+        self._dead_nodes = dead
+
+        # Tear down every node's device state and rebuild it under the
+        # new hosting map on the alive GPUs only.
+        for n in range(N):
+            for dc in self._node_dev_chunks[n]:
+                dc.free_all()
+            for w in self._node_workers[n]:
+                w.free_all()
+        self._node_runtimes = self._hosted_runtimes()
+        self._host_nodes = [n for n in range(N) if self._node_runtimes[n]]
+        node_counts = [self._node_phi_counts(n) for n in range(N)]
+        global_phi = self._sum_counts(node_counts)
+        # Fresh sync point: the recount covers every token's current
+        # assignment, so any open staleness window — including the dead
+        # node's — is drained exactly once.
+        self._phi_cache = global_phi.copy()
+        self._node_base = [c.copy() for c in node_counts]
+        self._node_counts, self._global_phi = node_counts, global_phi
+        advance = self._attach_nodes("h2d:phi_repartition")
+        self._cluster_time += advance
+
+        if self.server is not None:
+            _, done = self.server.reshard(self._phi_cache, self._cluster_time)
+            self._cluster_time = max(self._cluster_time, done)
+            self._park_plan()
+        self._workers = self._node_workers[self._host_nodes[0]]
+        self._dev_chunks = self._node_dev_chunks[self._host_nodes[0]]
+
+        stall = self._cluster_time - t_start
+        if stall > 0:
+            emit_counter(
+                "node_recovery_stall_seconds_total", stall,
+                help="Simulated seconds training stalled detecting "
+                     "node failures and re-partitioning after them.",
+                phase="repartition",
+            )
+        emit_gauge(
+            "cluster_nodes_hosting", float(len(self._host_nodes)),
+            help="cluster nodes currently hosting CuLDA workers",
+        )
+        self._iter_index = state.iteration
+        # Refresh the state the engine will snapshot: φ reflects the
+        # recount and extras carry the new hosting map / dead set.
+        self.capture_state(state)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _hosted_runtimes(self) -> list[list]:
+        """Per-node chunk-runtime lists under the current hosting map,
+        round-major then worker-ascending — identical to the pristine
+        ``m*W + n*G + j`` order while hosting is the identity."""
+        W, M = self.num_workers, self._plan.chunks_per_gpu
+        by_node: list[list] = [[] for _ in range(self.num_nodes)]
+        for m in range(M):
+            for w in range(W):
+                by_node[self._worker_node[w]].append(self._runtimes[m * W + w])
+        return by_node
+
+    def _attach_nodes(self, label: str, reset_clock: bool = False) -> float:
+        """(Re)create GPU workers on every hosting node's alive GPUs,
+        upload the node's φ view (and resident chunks), and leave every
+        machine synchronized. Returns the largest per-node clock
+        advance (zero when resetting clocks at init)."""
+        hyper, kcfg = self._hyper, self._kcfg
+        cache, base = self._phi_cache, self._node_base
+        hosting = set(self._host_nodes)
+        advance = 0.0
+        for n in range(self.num_nodes):
+            if n not in hosting:
+                self._node_workers[n] = []
+                self._node_dev_chunks[n] = []
+                self._node_resident[n] = False
+                continue
+            machine = self.machines[n]
+            local = self._node_runtimes[n]
+            workers = [
+                GpuWorker(dev, hyper.num_topics, self.corpus.num_words, kcfg)
+                for dev in machine.alive_gpus
+            ]
+            if not workers:
+                raise FaultError(f"node {n} hosts work but has no alive GPUs")
+            view_host = self._as_phi_dtype(
+                cache + self._node_counts[n] - base[n], kcfg
+            )
+            for w in workers:
+                machine.memcpy_h2d(
+                    w.phi_full, view_host, stream=w.upload, label=label
+                )
+                self._launch_nk(w, kcfg)
+            resident = len(local) == len(workers)
+            dev_chunks = []
+            if resident:
+                dev_chunks = [
+                    upload_chunk(machine, workers[j], local[j])
+                    for j in range(len(workers))
+                ]
+            t_now = machine.synchronize()
+            if reset_clock:
+                machine.reset_clock()
+                t_now = 0.0
+            advance = max(advance, t_now - self._t_prev_node[n])
+            self._t_prev_node[n] = t_now
+            self._node_workers[n] = workers
+            self._node_dev_chunks[n] = dev_chunks
+            self._node_resident[n] = resident
+        return advance
+
+    def _restore_dist(self, state: RunState) -> None:
+        """Reinstall a known-good snapshot ahead of a re-partition:
+        topic assignments, θ, RNG streams, the hosting map, and the
+        buried node set (re-failed on the network and re-declared to
+        the detector so the restored run matches the one that
+        crashed)."""
+        hyper, kcfg = self._hyper, self._kcfg
+        runtimes = self._runtimes
+        if len(state.topics) != len(runtimes) or state.thetas is None:
+            raise ValueError("snapshot does not match the live chunk layout")
+        dtype = hyper.topic_dtype(kcfg.compressed)
+        for i, rt in enumerate(runtimes):
+            rt.topics = state.topics[i].astype(dtype, copy=False)
+            rt.theta = state.thetas[i]
+            rt.rng = state.rngs[i]
+        hosting = state.extras.get("dist_worker_node")
+        if hosting is not None and len(hosting) == self.num_workers:
+            self._worker_node = [int(x) for x in np.asarray(hosting)]
+        dead = state.extras.get("dist_dead_nodes")
+        if dead is not None:
+            self._dead_nodes = {int(x) for x in np.asarray(dead)}
+        for n in sorted(self._dead_nodes):
+            if self.network.node_alive(n):
+                self.network.fail_node(n)
+            self.membership.force_dead(n, self._cluster_time)
+
+    def _park_plan(self) -> None:
+        """Park the chunk-hosting map and per-node φ bases in the
+        replicated parameter server, so the plan survives the node that
+        owned any given assignment (docs/ROBUSTNESS.md §8)."""
+        if self.server is None:
+            return
+        self.server.park(
+            "chunk_hosting", np.array(self._worker_node, dtype=np.int64)
+        )
+        for n in range(self.num_nodes):
+            self.server.park(f"node_base_{n}", self._node_base[n])
+
     def _node_phi_counts(self, node: int) -> np.ndarray:
         """Node *node*'s exact φ contribution (int64), recounted from
         its chunks' current topic assignments."""

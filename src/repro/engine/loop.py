@@ -130,15 +130,6 @@ class TrainingLoop:
             detector = ConvergenceDetector(rel_tolerance=cfg.stop_rel_tolerance)
 
         injector = None
-        if cfg.fault_plan is not None and len(cfg.fault_plan):
-            from repro.faults.injector import FaultInjector
-
-            injector = FaultInjector(
-                cfg.fault_plan,
-                machine=getattr(algo, "machine", None),
-                cluster=getattr(algo, "network", None),
-                server=getattr(algo, "server", None),
-            )
         self._injector = injector
         rollbacks = 0
         repartitions = 0
@@ -240,6 +231,21 @@ class TrainingLoop:
         with algo._telemetry_run(self.callbacks):
             with span(f"train:{algo.name}"):
                 state = algo.init_state(resume_state)
+                # Built after init_state so substrates the algorithm
+                # constructs there (e.g. DistributedCuLDA's parameter
+                # server) are wired in. Nothing fires before the first
+                # iteration boundary, so the late build is invisible.
+                if cfg.fault_plan is not None and len(cfg.fault_plan):
+                    from repro.faults.injector import FaultInjector
+
+                    injector = FaultInjector(
+                        cfg.fault_plan,
+                        machine=getattr(algo, "machine", None),
+                        cluster=getattr(algo, "network", None),
+                        server=getattr(algo, "server", None),
+                        machines=getattr(algo, "machines", None),
+                    )
+                    self._injector = injector
                 start = {
                     "algo": algo.name,
                     "corpus": algo.corpus.name,

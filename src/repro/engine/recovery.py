@@ -137,13 +137,24 @@ class RecoveryPolicy:
 
 @dataclass(frozen=True)
 class ClusterRecoveryPolicy(RecoveryPolicy):
-    """A :class:`RecoveryPolicy` for distributed (LDA*) runs.
+    """A :class:`RecoveryPolicy` for distributed runs (LDA* workers or
+    multi-node :class:`~repro.core.distributed.DistributedCuLDA`).
 
     Adds the heartbeat failure-detector thresholds (simulated seconds)
     that turn node silence into a membership verdict — see
     :class:`~repro.cluster.membership.MembershipMonitor`. The GPU knobs
     are inherited unchanged: the transfer-retry budget doubles as the
     Ethernet retry budget, and rollback/validation work identically.
+
+    For the hierarchical two-leg CuLDA sync (intra-node §5.2 reduce
+    tree, then inter-node collective) the same thresholds govern node
+    death detected at either leg: ``elastic`` mode migrates the dead
+    node's logical workers to the token-lightest survivors, re-plans
+    the inter-node collective over the shrunken membership (implicit
+    eth_ring leader re-election), and re-shards the parameter server
+    over surviving nodes — sync-mode runs stay bit-identical to the
+    fault-free run, async (``staleness > 0``) runs conserve tokens
+    while the dead node's staleness window drains deterministically.
     """
 
     #: Heartbeat period for the membership monitor.

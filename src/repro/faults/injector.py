@@ -49,9 +49,17 @@ class FaultInjector:
         machine: "Machine | None" = None,
         cluster: "ClusterNetwork | None" = None,
         server: "ShardedParameterServer | None" = None,
+        machines: "list[Machine] | None" = None,
     ):
         self.plan = plan
-        self.machine = machine
+        #: All machines device faults can target; device ids are global
+        #: (node n, local GPU j → n·G + j on a homogeneous cluster).
+        self.machines = list(machines) if machines else (
+            [machine] if machine is not None else []
+        )
+        self.machine = machine if machine is not None else (
+            self.machines[0] if self.machines else None
+        )
         self.cluster = cluster
         self.server = server
         self.events: list[dict] = []
@@ -94,13 +102,18 @@ class FaultInjector:
         )
 
     def _device(self, device_id: int):
-        gpus = self.machine.gpus
-        if not 0 <= device_id < len(gpus):
+        total = sum(len(m.gpus) for m in self.machines)
+        if not 0 <= device_id < total:
             raise ValueError(
-                f"fault targets device {device_id} but machine has "
-                f"GPUs 0..{len(gpus) - 1}"
+                f"fault targets device {device_id} but the run has "
+                f"GPUs 0..{total - 1}"
             )
-        return gpus[device_id]
+        local = device_id
+        for m in self.machines:
+            if local < len(m.gpus):
+                return m.gpus[local]
+            local -= len(m.gpus)
+        raise AssertionError("unreachable")
 
     def _node(self, node_id: int) -> int:
         if not 0 <= node_id < self.cluster.num_nodes:

@@ -12,6 +12,9 @@ One profile run emits one JSON document with schema ``repro-profile/1``::
       "device_busy": {"gpu0": 0.93, …},     # busy fraction per device
       "counters": [{"name": …, "labels": {…}, "value": …}, …],
       "faults": {"events": […], "rollbacks": n, "repartitions": n},
+      "elasticity": {"node_recovery_stall_seconds_total": s,
+                     "workers_migrated_total": n,
+                     "shards_adopted_total": n},
       "sync_planner": [{"algorithm": …, "topology": …, "forced": bool,
                         "count": n, "predicted_seconds": …}, …]
     }
@@ -23,9 +26,31 @@ existing keys keep their meaning, so downstream tooling can pin on
 
 from __future__ import annotations
 
-__all__ = ["PROFILE_SCHEMA", "profile_json"]
+__all__ = [
+    "ELASTICITY_COUNTERS",
+    "PROFILE_SCHEMA",
+    "counter_total",
+    "profile_json",
+]
 
 PROFILE_SCHEMA = "repro-profile/1"
+
+#: Elastic node-recovery counters surfaced explicitly in every profile
+#: (zero-valued when the run had no faults) so dashboards can chart
+#: recovery cost without scraping the open-ended counter list.
+ELASTICITY_COUNTERS = (
+    "node_recovery_stall_seconds_total",
+    "workers_migrated_total",
+    "shards_adopted_total",
+)
+
+
+def counter_total(registry, name: str) -> float:
+    """Sum a counter family across all label sets (0.0 when absent)."""
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    return sum(s.value for s in metric.samples())
 
 
 def profile_json(
@@ -68,6 +93,10 @@ def profile_json(
             "events": [dict(e) for e in result.fault_events],
             "rollbacks": result.rollbacks,
             "repartitions": result.repartitions,
+        },
+        "elasticity": {
+            name: counter_total(registry, name)
+            for name in ELASTICITY_COUNTERS
         },
         "sync_planner": decisions_from_registry(registry),
     }

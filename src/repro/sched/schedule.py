@@ -438,7 +438,7 @@ def run_iteration_streaming(
     runtimes: list[ChunkRuntime],
     hyper: LDAHyperParams,
     config: KernelConfig,
-    chunks_per_gpu: int,
+    chunks_per_gpu: int | None,
     sync_algorithm: str = AUTO,
     overlap: bool = True,
     retry: TransferRetry | None = None,
@@ -449,12 +449,19 @@ def run_iteration_streaming(
     stages while chunk m computes (the paper's pipelining); with False
     all copies are funneled through the compute stream (the ablation's
     serial variant).
+
+    ``chunks_per_gpu=None`` accepts an uneven round-robin (elastic
+    layouts after a migration can leave GPUs with different chunk
+    counts); every GPU still needs at least one chunk so its φ replica
+    participates in the reduce.
     """
     G = len(workers)
+    if chunks_per_gpu is None and len(runtimes) < G:
+        raise ValueError("streaming schedule needs at least one chunk per GPU")
     phi_ready = []
     for g, worker in enumerate(workers):
         my = [runtimes[c] for c in range(g, len(runtimes), G)]
-        if len(my) != chunks_per_gpu:
+        if chunks_per_gpu is not None and len(my) != chunks_per_gpu:
             raise ValueError("chunk count does not match M x G round-robin")
         up_stream = worker.upload if overlap else worker.compute
         down_stream = worker.download if overlap else worker.compute

@@ -29,6 +29,8 @@ detector-dead node.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -46,6 +48,8 @@ from repro.comm import (
 )
 from repro.core import CuLDA, DistributedCuLDA, TrainConfig
 from repro.corpus.synthetic import pubmed_like
+from repro.engine.recovery import TrainingFailure
+from repro.faults.plan import FaultPlan, FaultSpec, cluster_chaos_plan
 from repro.gpusim.errors import SyncPathError
 from repro.gpusim.platform import make_machine
 
@@ -434,6 +438,153 @@ class TestClusterPlannerProperties:
 
 
 # ----------------------------------------------------------------------
+# Chaos: node loss, elastic recovery, migration properties
+# ----------------------------------------------------------------------
+
+def _node_plan(iteration, node):
+    return FaultPlan(faults=(
+        FaultSpec(kind="node_failure", iteration=iteration, node=node),
+    ))
+
+
+def _reference(corpus, **config_kwargs):
+    cfg = TrainConfig(num_topics=16, iterations=4, seed=0, **config_kwargs)
+    return CuLDA(corpus, make_machine("pascal", 4), cfg)
+
+
+class TestNodeLossRecovery:
+    """Elastic recovery keeps synchronous runs bit-identical to the
+    fault-free run (the LDA* guarantee, extended to CuLDA's two-leg
+    sync) and async runs token-conserving."""
+
+    def test_node_death_mid_sync_bit_identical(self, corpus):
+        clean = _trainer(corpus, 2, 2).train()
+        chaos = _trainer(corpus, 2, 2).train(
+            recovery="elastic", fault_plan=_node_plan(2, 1)
+        )
+        _assert_same_model(clean, chaos)
+        assert chaos.repartitions == 1
+        assert chaos.rollbacks == 0
+
+    def test_chaos_plan_bit_identical(self, corpus):
+        """The canonical cluster chaos plan (node death + flaky
+        Ethernet) leaves the model untouched."""
+        clean = _trainer(corpus, 2, 2).train()
+        chaos = _trainer(corpus, 2, 2).train(
+            recovery="elastic", fault_plan=cluster_chaos_plan(2)
+        )
+        _assert_same_model(clean, chaos)
+
+    def test_gpu_death_inside_node_bit_identical(self, corpus):
+        """A single GPU dying inside a node reuses the intra-node
+        elastic re-partition; global device ids span machines."""
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="device_failure", iteration=2, device=3),
+        ))
+        clean = _trainer(corpus, 2, 2).train()
+        chaos = _trainer(corpus, 2, 2).train(
+            recovery="elastic", fault_plan=plan
+        )
+        _assert_same_model(clean, chaos)
+
+    def test_shard_corruption_healed_bit_identical(self, corpus):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="ps_shard_corruption", iteration=2, node=1),
+        ))
+        clean = _trainer(corpus, 2, 2).train()
+        chaos = _trainer(corpus, 2, 2).train(
+            recovery="elastic", fault_plan=plan
+        )
+        _assert_same_model(clean, chaos)
+
+    def test_stall_charged_to_simulated_clock(self, corpus):
+        clean = _trainer(corpus, 2, 2).train()
+        chaos = _trainer(corpus, 2, 2).train(
+            recovery="elastic", fault_plan=_node_plan(2, 1)
+        )
+        # Detection waits out the heartbeat lease (dead ≥ 2 s after the
+        # node was last heard from), dwarfing the fault-free runtime.
+        assert chaos.total_sim_seconds >= 2.0
+        assert chaos.total_sim_seconds > clean.total_sim_seconds
+
+    def test_node_death_mid_staleness_window(self, corpus):
+        """Async mode: the dead node's staleness window drains
+        deterministically and every token survives the migration."""
+        chaos = _trainer(corpus, 2, 2, staleness=2).train(
+            recovery="elastic", fault_plan=_node_plan(2, 0)
+        )
+        assert chaos.phi.sum() == corpus.num_tokens
+        assert chaos.repartitions == 1
+        assert np.isfinite(chaos.iterations[-1].log_likelihood_per_token)
+
+    def test_recovery_none_fails_with_timeline(self, corpus):
+        with pytest.raises(TrainingFailure) as err:
+            _trainer(corpus, 2, 2).train(
+                recovery="none", fault_plan=_node_plan(2, 1)
+            )
+        events = err.value.membership_events
+        assert (0.5, 1, "alive", "suspect") in events
+        assert (2.0, 1, "suspect", "dead") in events
+        assert err.value.fault_events
+
+    def test_checkpoint_across_recovery_resumes_cross_layout(
+        self, corpus, tmp_path
+    ):
+        """A checkpoint written *after* a recovery (non-identity worker
+        hosting in its extras) resumes bit-identically on the same
+        layout, a different layout, and a single machine."""
+        clean = _reference(corpus).train()
+        ck = tmp_path / "ck.npz"
+        chaos = _trainer(corpus, 2, 2).train(
+            recovery="elastic", fault_plan=_node_plan(1, 1),
+            save_every=2, checkpoint_path=str(ck),
+        )
+        _assert_same_model(clean, chaos)
+        _assert_same_model(clean, _trainer(corpus, 2, 2).train(resume=str(ck)))
+        _assert_same_model(clean, _trainer(corpus, 4, 1).train(resume=str(ck)))
+        _assert_same_model(clean, _reference(corpus).train(resume=str(ck)))
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return pubmed_like(2_000, 8, seed=5)
+
+
+class TestMigrationProperties:
+    @given(
+        nodes=st.integers(min_value=2, max_value=3),
+        gpus=st.integers(min_value=1, max_value=2),
+        dead=st.integers(min_value=0, max_value=2),
+        iteration=st.integers(min_value=1, max_value=3),
+        staleness=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_migration_conserves_tokens_avoids_dead_nodes(
+        self, small_corpus, nodes, gpus, dead, iteration, staleness
+    ):
+        """Any elastic migration plan conserves tokens and never hosts
+        a logical worker on a detector-dead node."""
+        dead %= nodes
+        algo = DistributedCuLDA(
+            small_corpus,
+            [make_machine("pascal", gpus) for _ in range(nodes)],
+            config=TrainConfig(
+                num_topics=8, iterations=4, seed=0, staleness=staleness
+            ),
+        )
+        result = algo.train(
+            recovery="elastic", fault_plan=_node_plan(iteration, dead)
+        )
+        assert result.phi.sum() == small_corpus.num_tokens
+        dead_nodes = algo.membership.dead_nodes
+        assert dead in dead_nodes
+        assert not set(algo._worker_node) & set(dead_nodes)
+        hosting = algo.server.parked("chunk_hosting")
+        assert hosting is not None
+        assert not set(hosting.tolist()) & set(dead_nodes)
+
+
+# ----------------------------------------------------------------------
 # CLI surface
 # ----------------------------------------------------------------------
 
@@ -472,9 +623,66 @@ class TestCLIDistributed:
         assert rc == 2
         assert "--algo culda" in capsys.readouterr().err
 
-    def test_faults_rejected_multinode(self, capsys, tmp_path):
+    @staticmethod
+    def _plan(tmp_path, faults):
         plan = tmp_path / "plan.json"
-        plan.write_text('[{"kind": "device_failure", "iteration": 1, "device": 1}]')
-        rc = main(self.ARGS + ["--nodes", "2", "--faults", str(plan)])
+        plan.write_text(json.dumps({"faults": faults}))
+        return str(plan)
+
+    def test_cluster_faults_need_cluster_substrate(self, capsys, tmp_path):
+        plan = self._plan(
+            tmp_path, [{"kind": "node_failure", "iteration": 1, "node": 0}]
+        )
+        rc = main(self.ARGS + ["--gpus", "2", "--faults", plan])
         assert rc == 2
-        assert "not supported" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "fault #0 (node_failure)" in err
+        assert "cluster substrate" in err
+
+    def test_gpu_faults_need_gpu_substrate(self, capsys, tmp_path):
+        plan = self._plan(
+            tmp_path,
+            [{"kind": "device_failure", "iteration": 1, "device": 0}],
+        )
+        rc = main(self.ARGS + ["--algo", "ldastar", "--faults", plan])
+        assert rc == 2
+        assert "fault #0 (device_failure)" in capsys.readouterr().err
+
+    def test_multinode_gpu_fault_allowed(self, capsys, tmp_path):
+        """Global device ids span machines: device 3 is node 1 GPU 1."""
+        plan = self._plan(
+            tmp_path,
+            [{"kind": "device_failure", "iteration": 1, "device": 3}],
+        )
+        rc = main(self.ARGS + [
+            "--nodes", "2", "--gpus-per-node", "2",
+            "--faults", plan, "--recovery", "elastic",
+        ])
+        assert rc == 0
+        assert "1 repartition(s)" in capsys.readouterr().out
+
+    def test_multinode_elastic_node_recovery(self, capsys, tmp_path):
+        plan = self._plan(
+            tmp_path, [{"kind": "node_failure", "iteration": 1, "node": 1}]
+        )
+        rc = main(self.ARGS + [
+            "--nodes", "2", "--gpus-per-node", "2",
+            "--faults", plan, "--recovery", "elastic",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 fault event(s)" in out
+        assert "1 repartition(s)" in out
+
+    def test_multinode_recovery_none_prints_timeline(self, capsys, tmp_path):
+        plan = self._plan(
+            tmp_path, [{"kind": "node_failure", "iteration": 1, "node": 1}]
+        )
+        rc = main(self.ARGS + [
+            "--nodes", "2", "--gpus-per-node", "2",
+            "--faults", plan, "--recovery", "none",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "membership timeline" in err
+        assert "suspect -> dead" in err
